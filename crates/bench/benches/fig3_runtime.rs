@@ -1,0 +1,59 @@
+//! Criterion version of **Figure 3**: end-to-end emulated-inference
+//! runtime per number format, with and without error injection, on a
+//! small trained CNN. The `fig3` binary prints the same comparison as a
+//! table; this bench gives statistically robust timings.
+
+use bench::{prepare_model, test_set, ModelKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goldeneye::{GoldenEye, InjectionPlan};
+use inject::SiteKind;
+
+fn fig3(c: &mut Criterion) {
+    let (model, _) = prepare_model(ModelKind::Resnet18);
+    let (x, _) = test_set().head_batch(8);
+    let mut group = c.benchmark_group("fig3_resnet18_b8");
+    group.sample_size(10);
+
+    group.bench_function("native_fp32", |b| {
+        b.iter(|| models::forward_logits(model.as_ref(), x.clone()))
+    });
+
+    for spec in ["fp16", "fxp:1:3:12", "int:8", "bfp:e8m7:b16", "afp:e4m3"] {
+        let ge = GoldenEye::parse(spec).unwrap();
+        group.bench_with_input(BenchmarkId::new("emulate", spec), &x, |b, x| {
+            b.iter(|| ge.run(model.as_ref(), x.clone()))
+        });
+    }
+
+    for (spec, kind) in [
+        ("int:8", SiteKind::Value),
+        ("int:8", SiteKind::Metadata),
+        ("bfp:e8m7:b16", SiteKind::Value),
+        ("bfp:e8m7:b16", SiteKind::Metadata),
+        ("afp:e4m3", SiteKind::Value),
+        ("afp:e4m3", SiteKind::Metadata),
+    ] {
+        let ge = GoldenEye::parse(spec).unwrap();
+        let label = format!(
+            "{}+EI{}",
+            spec,
+            if kind == SiteKind::Metadata { "-metadata" } else { "" }
+        );
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::new("inject", label), &x, |b, x| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                ge.run_with_injection(
+                    model.as_ref(),
+                    x.clone(),
+                    InjectionPlan::single(0, kind),
+                    seed,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the tensor-wide conversion kernels
+//! (the paper's Method 1) and the scalar bitstring path (Methods 3/4),
+//! supporting the Figure 3 analysis: FP/FxP/INT conversions are cheap
+//! elementwise maps; BFP/AFP pay a metadata pass; scalar ops are orders of
+//! magnitude slower per element but used only once per injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use formats::{FormatSpec, Metadata};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Tensor;
+
+fn conversion_benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn([64 * 1024], &mut rng);
+    let mut group = c.benchmark_group("real_to_format_tensor_64k");
+    for spec in ["fp:e5m10", "fxp:1:7:8", "int:8", "bfp:e8m7:b16", "afp:e4m3"] {
+        let format = spec.parse::<FormatSpec>().unwrap().build();
+        group.bench_with_input(BenchmarkId::from_parameter(spec), &x, |b, x| {
+            b.iter(|| format.real_to_format_tensor(std::hint::black_box(x)))
+        });
+    }
+    group.finish();
+}
+
+fn scalar_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalar_bitstring_roundtrip");
+    for spec in ["fp:e5m10", "int:8"] {
+        let format = spec.parse::<FormatSpec>().unwrap().build();
+        let meta = if spec == "int:8" { Metadata::Scale(0.01) } else { Metadata::None };
+        group.bench_function(BenchmarkId::from_parameter(spec), |b| {
+            b.iter(|| {
+                let bits = format.real_to_format(std::hint::black_box(0.777), &meta, 0);
+                format.format_to_real(&bits.with_flip(1), &meta, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = conversion_benches, scalar_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Regenerates **Figure 3** — runtime performance of GoldenEye across
+//! number formats, with error injection (EI) on/off.
+//!
+//! The paper's claim is relative, not absolute (their substrate is a GPU,
+//! ours a CPU): native FP32 is fastest; emulated FP/FxP/INT run close to
+//! native (their conversions are cheap elementwise kernels); BFP/AFP pay a
+//! per-block/per-tensor metadata path and run a few times slower; the
+//! *additional* cost of EI and EI-metadata is negligible because a single
+//! flip per inference is amortised.
+//!
+//! Run with: `cargo run --release -p bench --bin fig3 [--full]`
+
+use bench::{prepare_model, test_set, BenchArgs, ModelKind};
+use goldeneye::{GoldenEye, InjectionPlan};
+use inject::SiteKind;
+use nn::Module;
+use std::time::Instant;
+use tensor::Tensor;
+
+struct Config {
+    label: &'static str,
+    spec: Option<&'static str>,
+    injection: Option<SiteKind>,
+}
+
+const CONFIGS: &[Config] = &[
+    Config { label: "native_fp32", spec: None, injection: None },
+    Config { label: "fp_e8m23", spec: Some("fp32"), injection: None },
+    Config { label: "fp_e5m10", spec: Some("fp16"), injection: None },
+    Config { label: "fp_e8m7 (bfloat16)", spec: Some("bfloat16"), injection: None },
+    Config { label: "fp_e4m3 (fp8)", spec: Some("fp:e4m3"), injection: None },
+    Config { label: "fp_e4m3 +EI", spec: Some("fp:e4m3"), injection: Some(SiteKind::Value) },
+    Config { label: "fxp_1_3_12", spec: Some("fxp:1:3:12"), injection: None },
+    Config { label: "fxp_1_3_12 +EI", spec: Some("fxp:1:3:12"), injection: Some(SiteKind::Value) },
+    Config { label: "int8", spec: Some("int:8"), injection: None },
+    Config { label: "int8 +EI", spec: Some("int:8"), injection: Some(SiteKind::Value) },
+    Config { label: "int8 +EI-metadata", spec: Some("int:8"), injection: Some(SiteKind::Metadata) },
+    Config { label: "bfp_e8m7_b16", spec: Some("bfp:e8m7:b16"), injection: None },
+    Config { label: "bfp_e8m7_b16 +EI", spec: Some("bfp:e8m7:b16"), injection: Some(SiteKind::Value) },
+    Config { label: "bfp_e8m7_b16 +EI-metadata", spec: Some("bfp:e8m7:b16"), injection: Some(SiteKind::Metadata) },
+    Config { label: "afp_e4m3", spec: Some("afp:e4m3"), injection: None },
+    Config { label: "afp_e4m3 +EI", spec: Some("afp:e4m3"), injection: Some(SiteKind::Value) },
+    Config { label: "afp_e4m3 +EI-metadata", spec: Some("afp:e4m3"), injection: Some(SiteKind::Metadata) },
+];
+
+fn time_config(model: &dyn Module, x: &Tensor, cfg: &Config, runs: usize) -> (f64, f64, f64) {
+    let mut samples = Vec::with_capacity(runs);
+    let ge = cfg.spec.map(|s| GoldenEye::parse(s).expect("bad spec"));
+    // Warm-up runs (first-touch allocations, caches).
+    run_once(model, x, &ge, cfg, 0);
+    run_once(model, x, &ge, cfg, 1);
+    for i in 0..runs {
+        let t = Instant::now();
+        run_once(model, x, &ge, cfg, i as u64);
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = samples.iter().sum::<f64>() / runs as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / runs as f64;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    (median, mean, var.sqrt())
+}
+
+fn run_once(model: &dyn Module, x: &Tensor, ge: &Option<GoldenEye>, cfg: &Config, seed: u64) {
+    match ge {
+        None => {
+            models::forward_logits(model, x.clone());
+        }
+        Some(ge) => match cfg.injection {
+            None => {
+                ge.run(model, x.clone());
+            }
+            Some(kind) => {
+                let plan = InjectionPlan::single(0, kind);
+                ge.run_with_injection(model, x.clone(), plan, seed);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let runs = if args.full { 100 } else { 10 };
+    let batch = 32;
+    println!("Figure 3: runtime per inference batch (batch={batch}, {runs} timed runs)\n");
+    for kind in [ModelKind::Resnet18, ModelKind::DeitTiny] {
+        let (model, _) = prepare_model(kind);
+        let (x, _) = test_set().head_batch(batch);
+        // Measure everything first; report ratios against the native row
+        // from the same pass (median is robust to scheduler noise).
+        let measured: Vec<(f64, f64, f64)> = CONFIGS
+            .iter()
+            .map(|cfg| time_config(model.as_ref(), &x, cfg, runs))
+            .collect();
+        let native_ms = measured[0].0;
+        println!("== {} ==", kind.name());
+        println!(
+            "{:<28} {:>11} {:>10} {:>8} {:>10}",
+            "config", "median ms", "mean ms", "std %", "vs native"
+        );
+        for (cfg, (median, mean, std)) in CONFIGS.iter().zip(&measured) {
+            println!(
+                "{:<28} {:>11.2} {:>10.2} {:>7.1}% {:>9.2}x",
+                cfg.label,
+                median,
+                mean,
+                100.0 * std / mean,
+                median / native_ms
+            );
+        }
+        println!();
+    }
+    println!("Expected shape (paper): native fastest; FP/FxP/INT near native;");
+    println!("BFP/AFP slower (metadata path); +EI and +EI-metadata ~free.");
+}

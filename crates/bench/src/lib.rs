@@ -1,0 +1,182 @@
+//! Shared harness for the benchmark binaries that regenerate the paper's
+//! tables and figures (see DESIGN.md §4 for the experiment index).
+//!
+//! Models are trained once on the synthetic dataset and cached under
+//! `target/goldeneye_cache/`, so repeated `cargo run -p bench --bin figN`
+//! invocations reuse the same "pretrained" weights.
+
+use models::{
+    DeitConfig, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer,
+};
+use nn::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Canonical image side length shared by every experiment.
+pub const IMG_SIZE: usize = 32;
+/// Number of classes in the synthetic task.
+pub const NUM_CLASSES: usize = 10;
+/// Training-set size.
+pub const TRAIN_N: usize = 512;
+/// Evaluation-set size.
+pub const TEST_N: usize = 128;
+
+/// The evaluation models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Width-scaled ResNet-18.
+    Resnet18,
+    /// Width-scaled ResNet-50.
+    Resnet50,
+    /// Width-scaled DeiT-tiny.
+    DeitTiny,
+    /// Width-scaled DeiT-base.
+    DeitBase,
+}
+
+impl ModelKind {
+    /// Stable name used for cache files and table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Resnet18 => "resnet18",
+            ModelKind::Resnet50 => "resnet50",
+            ModelKind::DeitTiny => "deit_tiny",
+            ModelKind::DeitBase => "deit_base",
+        }
+    }
+
+    fn build(&self) -> Box<dyn Module> {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        match self {
+            ModelKind::Resnet18 => {
+                Box::new(ResNet::new(ResNetConfig::resnet18(8, NUM_CLASSES), &mut rng))
+            }
+            ModelKind::Resnet50 => {
+                Box::new(ResNet::new(ResNetConfig::resnet50(4, NUM_CLASSES), &mut rng))
+            }
+            ModelKind::DeitTiny => Box::new(VisionTransformer::new(
+                DeitConfig::deit_tiny(IMG_SIZE, NUM_CLASSES),
+                &mut rng,
+            )),
+            ModelKind::DeitBase => Box::new(VisionTransformer::new(
+                DeitConfig::deit_base(IMG_SIZE, NUM_CLASSES),
+                &mut rng,
+            )),
+        }
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        match self {
+            ModelKind::Resnet18 => {
+                TrainConfig { epochs: 10, batch_size: 32, lr: 2e-3, ..Default::default() }
+            }
+            ModelKind::Resnet50 => {
+                TrainConfig { epochs: 8, batch_size: 32, lr: 2e-3, ..Default::default() }
+            }
+            ModelKind::DeitTiny => {
+                TrainConfig { epochs: 14, batch_size: 32, lr: 1e-3, ..Default::default() }
+            }
+            ModelKind::DeitBase => {
+                TrainConfig { epochs: 8, batch_size: 32, lr: 1e-3, ..Default::default() }
+            }
+        }
+    }
+}
+
+/// The shared training split.
+pub fn train_set() -> SyntheticDataset {
+    SyntheticDataset::generate(TRAIN_N, IMG_SIZE, NUM_CLASSES, 2022)
+}
+
+/// The shared held-out evaluation split.
+pub fn test_set() -> SyntheticDataset {
+    SyntheticDataset::generate(TEST_N, IMG_SIZE, NUM_CLASSES, 2023)
+}
+
+fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("GOLDENEYE_CACHE") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/goldeneye_cache")
+}
+
+/// Builds (and trains, or loads from cache) a model, returning it plus its
+/// held-out accuracy.
+pub fn prepare_model(kind: ModelKind) -> (Box<dyn Module>, f32) {
+    let model = kind.build();
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir).expect("cannot create cache dir");
+    let path = dir.join(format!("{}.weights", kind.name()));
+    if path.exists() && models::load_params(model.as_ref(), &path).is_ok() {
+        eprintln!("[bench] loaded cached weights for {}", kind.name());
+    } else {
+        eprintln!("[bench] training {} (one-time, cached afterwards)...", kind.name());
+        let mut cfg = kind.train_config();
+        cfg.verbose = true;
+        models::train(model.as_ref(), &train_set(), &cfg);
+        models::save_params(model.as_ref(), &path).expect("cannot cache weights");
+    }
+    let acc = models::evaluate(model.as_ref(), &test_set(), TEST_N, 32);
+    eprintln!("[bench] {} held-out accuracy: {:.1}%", kind.name(), acc * 100.0);
+    (model, acc)
+}
+
+/// Simple CLI flags shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--full`: paper-scale parameters (e.g. 1000 injections/layer).
+    pub full: bool,
+    /// `--injections N`: override the per-layer injection count.
+    pub injections: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parses flags from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs { full: false, injections: None };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--injections" => {
+                    args.injections = it.next().and_then(|v| v.parse().ok());
+                }
+                other => eprintln!("[bench] ignoring unknown flag {other}"),
+            }
+        }
+        args
+    }
+
+    /// Injections per layer: explicit override > full (1000) > quick
+    /// default.
+    pub fn injections_per_layer(&self, quick_default: usize) -> usize {
+        self.injections.unwrap_or(if self.full { 1000 } else { quick_default })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kinds_build() {
+        for kind in
+            [ModelKind::Resnet18, ModelKind::Resnet50, ModelKind::DeitTiny, ModelKind::DeitBase]
+        {
+            let m = kind.build();
+            assert!(m.param_count() > 1000, "{} too small", kind.name());
+        }
+    }
+
+    #[test]
+    fn datasets_are_split() {
+        let tr = train_set();
+        let te = test_set();
+        assert_eq!(tr.len(), TRAIN_N);
+        assert_eq!(te.len(), TEST_N);
+        let (a, _) = tr.head_batch(1);
+        let (b, _) = te.head_batch(1);
+        assert_ne!(a, b, "train/test must differ");
+    }
+}

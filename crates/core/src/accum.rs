@@ -1,0 +1,185 @@
+//! Reduced-precision accumulation — the paper's named future-work item
+//! (§V-C: mixed-precision operations "would require detailed attention to
+//! accumulation error and rounding error during computations").
+//!
+//! Real accelerators don't just *store* activations in a reduced format;
+//! their MAC arrays accumulate partial sums in a (possibly wider, but
+//! still finite) accumulator register. This module simulates a dot
+//! product / GEMM whose accumulator is rounded into a target format after
+//! every multiply-accumulate step, and quantifies the resulting error as
+//! a function of reduction length — the data an accelerator designer
+//! needs to size accumulators.
+//!
+//! Only formats without tensor-level metadata (FP, FxP, posit) make sense
+//! as accumulators; metadata-bearing formats are rejected.
+
+use formats::NumberFormat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::Tensor;
+
+fn check_accumulator(format: &dyn NumberFormat) {
+    assert!(
+        !format.supports_metadata_injection(),
+        "{} carries tensor-level metadata and cannot model a scalar accumulator",
+        format.name()
+    );
+}
+
+/// Dot product with every product and partial sum rounded into `acc`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `acc` carries tensor-level metadata.
+pub fn quantized_dot(a: &[f32], b: &[f32], acc: &dyn NumberFormat) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot-product length mismatch");
+    check_accumulator(acc);
+    let mut s = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let prod = acc.quantize_value(x * y);
+        s = acc.quantize_value(s + prod);
+    }
+    s
+}
+
+/// `[m,k] × [k,n]` GEMM with a reduced-precision accumulator.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a metadata-bearing accumulator format.
+pub fn quantized_matmul(a: &Tensor, b: &Tensor, acc: &dyn NumberFormat) -> Tensor {
+    assert_eq!(a.ndim(), 2, "lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "rhs must be 2-D");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "inner dimensions disagree");
+    check_accumulator(acc);
+    let mut out = vec![0.0f32; m * n];
+    // Column-major access of b per output element keeps the semantics of
+    // a sequential MAC pipeline (one accumulator per output).
+    for i in 0..m {
+        for j in 0..n {
+            let row = &a.as_slice()[i * k..(i + 1) * k];
+            let mut s = 0.0f32;
+            for (kk, &x) in row.iter().enumerate() {
+                let prod = acc.quantize_value(x * b.as_slice()[kk * n + j]);
+                s = acc.quantize_value(s + prod);
+            }
+            out[i * n + j] = s;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// One row of an accumulation-error study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulationErrorPoint {
+    /// Reduction length (number of MACs per output).
+    pub length: usize,
+    /// Mean relative error versus an f64 reference accumulator.
+    pub mean_rel_error: f64,
+}
+
+/// Measures mean relative accumulation error versus reduction length for
+/// an accumulator format, over `trials` random unit-scale dot products
+/// per length.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the format carries tensor-level metadata.
+pub fn accumulation_error_study(
+    acc: &dyn NumberFormat,
+    lengths: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<AccumulationErrorPoint> {
+    assert!(trials > 0, "need at least one trial");
+    check_accumulator(acc);
+    let mut rng = StdRng::seed_from_u64(seed);
+    lengths
+        .iter()
+        .map(|&len| {
+            let mut total = 0.0f64;
+            for _ in 0..trials {
+                let a = Tensor::randn([len], &mut rng);
+                let b = Tensor::randn([len], &mut rng);
+                let exact: f64 = a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .map(|(&x, &y)| x as f64 * y as f64)
+                    .sum();
+                let got = quantized_dot(a.as_slice(), b.as_slice(), acc) as f64;
+                // Relative to the RMS magnitude of the sum (≈√len) so the
+                // metric is stable when the exact sum is near zero.
+                let scale = (len as f64).sqrt().max(1.0);
+                total += (got - exact).abs() / scale;
+            }
+            AccumulationErrorPoint { length: len, mean_rel_error: total / trials as f64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formats::{FloatingPoint, IntQuant};
+    use rand::Rng;
+
+    #[test]
+    fn fp32_accumulator_is_exact_wrt_sequential_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let fp32 = FloatingPoint::fp32();
+        let got = quantized_dot(&a, &b, &fp32);
+        let mut reference = 0.0f32;
+        for (x, y) in a.iter().zip(&b) {
+            reference += x * y;
+        }
+        assert_eq!(got, reference, "fp32 accumulator must be transparent");
+    }
+
+    #[test]
+    fn narrower_accumulators_accumulate_more_error() {
+        let lengths = [256usize];
+        let e_fp16 = accumulation_error_study(&FloatingPoint::fp16(), &lengths, 10, 3)[0]
+            .mean_rel_error;
+        let e_fp8 = accumulation_error_study(&FloatingPoint::fp8_e4m3(), &lengths, 10, 3)[0]
+            .mean_rel_error;
+        let e_fp32 = accumulation_error_study(&FloatingPoint::fp32(), &lengths, 10, 3)[0]
+            .mean_rel_error;
+        assert!(e_fp32 < e_fp16, "fp32 {e_fp32} vs fp16 {e_fp16}");
+        assert!(e_fp16 < e_fp8, "fp16 {e_fp16} vs fp8 {e_fp8}");
+    }
+
+    #[test]
+    fn error_grows_with_reduction_length() {
+        let pts = accumulation_error_study(&FloatingPoint::fp16(), &[16, 1024], 12, 5);
+        assert!(
+            pts[1].mean_rel_error > pts[0].mean_rel_error,
+            "len 1024 ({}) should out-err len 16 ({})",
+            pts[1].mean_rel_error,
+            pts[0].mean_rel_error
+        );
+    }
+
+    #[test]
+    fn quantized_matmul_matches_quantized_dot() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn([3, 8], &mut rng);
+        let b = Tensor::randn([8, 2], &mut rng);
+        let fp8 = FloatingPoint::fp8_e4m3();
+        let c = quantized_matmul(&a, &b, &fp8);
+        // Check one output element against the scalar routine.
+        let row: Vec<f32> = a.as_slice()[8..16].to_vec();
+        let col: Vec<f32> = (0..8).map(|k| b.at(&[k, 1])).collect();
+        assert_eq!(c.at(&[1, 1]), quantized_dot(&row, &col, &fp8));
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor-level metadata")]
+    fn metadata_formats_rejected_as_accumulators() {
+        quantized_dot(&[1.0], &[1.0], &IntQuant::new(8));
+    }
+}

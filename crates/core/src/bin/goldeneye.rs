@@ -1,0 +1,231 @@
+//! The `goldeneye` command-line tool — the paper's "set of command line
+//! arguments for hyperparameter tuning" (§IV-B), exposing the simulator
+//! without writing Rust:
+//!
+//! ```text
+//! goldeneye ranges
+//! goldeneye inspect bfp:e5m5:tensor
+//! goldeneye quantize fp:e4m3 0.1,1.0,300
+//! goldeneye evaluate --model cnn --spec int:8 [--epochs 8]
+//! goldeneye campaign --model cnn --spec bfp:e5m5:tensor --site metadata --injections 20
+//! goldeneye dse --model cnn --family afp [--drop 0.02]
+//! ```
+//!
+//! Models are tiny synthetic-task networks trained on the spot (seconds),
+//! so every subcommand is self-contained; the bench binaries cover the
+//! paper-scale experiments.
+
+use goldeneye::dse::{search, DseFamily};
+use goldeneye::{evaluate_accuracy, run_campaign, CampaignConfig, GoldenEye};
+use inject::SiteKind;
+use models::{
+    train, DeitConfig, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer,
+};
+use nn::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("ranges") => cmd_ranges(),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("quantize") => cmd_quantize(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("dse") => cmd_dse(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try `goldeneye help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "goldeneye — functional simulator for numerical data formats in DNN accelerators\n\n\
+         USAGE:\n  goldeneye <SUBCOMMAND> [OPTIONS]\n\n\
+         SUBCOMMANDS:\n\
+           ranges                                  print Table I (dynamic ranges)\n\
+           inspect <spec>                          describe a number format\n\
+           quantize <spec> <v1,v2,...>             quantise values; show bit images\n\
+           evaluate --model cnn|vit --spec <spec>  accuracy under an emulated format\n\
+           campaign --model cnn|vit --spec <spec>  per-layer delta-loss injection campaign\n\
+                    [--site value|metadata] [--injections N]\n\
+           dse --model cnn|vit --family <fam>      binary-tree format search\n\
+               [--drop 0.02]  fam: fp|fxp|int|bfp|afp\n\n\
+         FORMAT SPECS: fp:eXmY[:nodn] fxp:1:I:F int:B bfp:eXmY:(bN|tensor) afp:eXmY posit:N:ES\n\
+                       fp32 fp16 bfloat16 tf32 dlfloat16 fp8 int8 int16 posit8 posit16"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_ranges() -> Result<(), String> {
+    print!("{}", formats::ranges::table1_text());
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("inspect needs a format spec")?;
+    let ge = GoldenEye::parse(spec).map_err(|e| e.to_string())?;
+    let f = ge.format();
+    let r = f.dynamic_range();
+    println!("format:          {}", f.name());
+    println!("data bits/value: {}", f.bit_width());
+    println!("abs max:         {:.4e}", r.max_abs);
+    println!("abs min (≠0):    {:.4e}", r.min_abs);
+    println!("range:           {:.2} dB", r.db());
+    println!(
+        "metadata:        {}",
+        if f.supports_metadata_injection() { "injectable" } else { "none" }
+    );
+    Ok(())
+}
+
+fn cmd_quantize(args: &[String]) -> Result<(), String> {
+    let spec = args.first().ok_or("quantize needs a format spec")?;
+    let values = args.get(1).ok_or("quantize needs comma-separated values")?;
+    let values: Vec<f32> = values
+        .split(',')
+        .map(|v| v.trim().parse::<f32>().map_err(|_| format!("bad value `{v}`")))
+        .collect::<Result<_, _>>()?;
+    let ge = GoldenEye::parse(spec).map_err(|e| e.to_string())?;
+    let f = ge.format();
+    let n = values.len();
+    let q = f.real_to_format_tensor(&tensor::Tensor::from_vec(values.clone(), [n]));
+    println!("{:>14} {:>14} {:>20}", "input", "quantised", "bits");
+    for (i, &x) in values.iter().enumerate() {
+        let v = q.values.as_slice()[i];
+        let bits = f.real_to_format(v, &q.meta, i);
+        println!("{x:>14.6} {v:>14.6} {:>20}", bits.to_string());
+    }
+    if q.meta.word_count() > 0 {
+        println!("\nmetadata ({} word(s), {} bits each):", q.meta.word_count(), q.meta.word_width());
+        for w in 0..q.meta.word_count().min(8) {
+            println!("  word {w}: {}", q.meta.word_bits(w).expect("in range"));
+        }
+    }
+    Ok(())
+}
+
+/// Builds and trains the CLI's small demonstration model.
+fn demo_model(kind: &str, epochs: usize) -> Result<(Box<dyn Module>, SyntheticDataset, f32), String> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model: Box<dyn Module> = match kind {
+        "cnn" => Box::new(ResNet::new(ResNetConfig::tiny(8), &mut rng)),
+        "vit" => Box::new(VisionTransformer::new(DeitConfig::tiny_test(16, 4), &mut rng)),
+        other => return Err(format!("unknown model `{other}` (cnn|vit)")),
+    };
+    let data = SyntheticDataset::generate(128, 16, 4, 7);
+    eprintln!("training {kind} ({epochs} epochs on the synthetic task)...");
+    train(
+        model.as_ref(),
+        &data,
+        &TrainConfig { epochs, batch_size: 16, lr: 3e-3, ..Default::default() },
+    );
+    let baseline = models::evaluate(model.as_ref(), &data, 64, 32);
+    Ok((model, data, baseline))
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
+    let spec = flag(args, "--spec").ok_or("evaluate needs --spec")?;
+    let epochs = flag(args, "--epochs").and_then(|e| e.parse().ok()).unwrap_or(8);
+    let ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
+    let (model, data, baseline) = demo_model(&model_kind, epochs)?;
+    let acc = evaluate_accuracy(&ge, model.as_ref(), &data, 64, 32);
+    println!("native FP32 accuracy: {:.1}%", baseline * 100.0);
+    println!("{} accuracy:     {:.1}%", ge.format().name(), acc * 100.0);
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
+    let spec = flag(args, "--spec").ok_or("campaign needs --spec")?;
+    let site = flag(args, "--site").unwrap_or_else(|| "value".into());
+    let injections = flag(args, "--injections").and_then(|n| n.parse().ok()).unwrap_or(20);
+    let kind = match site.as_str() {
+        "value" => SiteKind::Value,
+        "metadata" => SiteKind::Metadata,
+        other => return Err(format!("unknown site `{other}` (value|metadata)")),
+    };
+    let ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
+    if kind == SiteKind::Metadata && !ge.format().supports_metadata_injection() {
+        return Err(format!("{} has no injectable metadata", ge.format().name()));
+    }
+    let (model, data, _) = demo_model(&model_kind, 8)?;
+    let (x, y) = data.head_batch(8);
+    let result = run_campaign(
+        &ge,
+        model.as_ref(),
+        &x,
+        &y,
+        &CampaignConfig { injections_per_layer: injections, kind, seed: 0 },
+    );
+    println!("{:<6} {:<18} {:>12} {:>12}", "layer", "name", "dLoss", "mismatch");
+    for l in &result.layers {
+        println!(
+            "{:<6} {:<18} {:>12.4} {:>11.1}%",
+            l.layer,
+            l.name,
+            l.delta_loss.mean(),
+            l.mismatch.mean() * 100.0
+        );
+    }
+    println!("\navg delta-loss across layers: {:.4}", result.avg_delta_loss());
+    Ok(())
+}
+
+fn cmd_dse(args: &[String]) -> Result<(), String> {
+    let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
+    let family = flag(args, "--family").ok_or("dse needs --family")?;
+    let drop = flag(args, "--drop").and_then(|d| d.parse().ok()).unwrap_or(0.02);
+    let family = match family.as_str() {
+        "fp" => DseFamily::Fp,
+        "fxp" => DseFamily::Fxp,
+        "int" => DseFamily::Int,
+        "bfp" => DseFamily::Bfp { block: usize::MAX },
+        "afp" => DseFamily::Afp,
+        other => return Err(format!("unknown family `{other}` (fp|fxp|int|bfp|afp)")),
+    };
+    let (model, data, baseline) = demo_model(&model_kind, 8)?;
+    println!("baseline accuracy: {:.1}%, allowed drop {:.1}%", baseline * 100.0, drop * 100.0);
+    let result = search(
+        family,
+        |spec| {
+            let ge = GoldenEye::new(spec.build());
+            evaluate_accuracy(&ge, model.as_ref(), &data, 64, 32)
+        },
+        baseline,
+        drop,
+    );
+    for n in &result.nodes {
+        println!(
+            "node {:>2}: {:<18} acc {:>5.1}%  {}",
+            n.index,
+            n.spec.to_string(),
+            n.accuracy * 100.0,
+            if n.accepted { "ok" } else { "reject" }
+        );
+    }
+    match result.best {
+        Some(best) => println!("suggested design point: {best}"),
+        None => println!("no acceptable configuration at this threshold"),
+    }
+    Ok(())
+}

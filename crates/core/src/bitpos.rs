@@ -1,0 +1,188 @@
+//! Per-bit-position vulnerability analysis.
+//!
+//! §IV-C of the paper drills into *which* bit a flip lands in: exponent
+//! bits of FP dominate, and "the sign bit in BFP is more vulnerable than
+//! in FP, since the bitwidth of the data value is now shorter … BFP
+//! magnifies the importance of the sign bit via the shared exponent
+//! design". This module measures ΔLoss as a function of the flipped bit
+//! position, holding everything else fixed.
+
+use crate::instrument::GoldenEye;
+use inject::flip_value;
+use metrics::{compare_outcomes, RunningStats};
+use nn::{Ctx, ForwardHook, LayerInfo, LayerKind, Module};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tensor::Tensor;
+
+/// ΔLoss statistics for one bit position of a format's value encoding.
+#[derive(Debug, Clone)]
+pub struct BitPositionResult {
+    /// Bit position (0 = MSB of the bit image; for sign-magnitude and
+    /// IEEE-style layouts this is the sign bit).
+    pub bit: usize,
+    /// ΔLoss statistics across trials.
+    pub delta_loss: RunningStats,
+    /// Mismatch statistics across trials.
+    pub mismatch: RunningStats,
+}
+
+/// Hook that flips a *fixed* bit of a randomly chosen element at one layer.
+struct FixedBitHook {
+    format: Rc<dyn formats::NumberFormat>,
+    layer: usize,
+    bit: usize,
+    element_seed: RefCell<inject::Injector>,
+    fired: RefCell<bool>,
+}
+
+impl ForwardHook for FixedBitHook {
+    fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
+        let mut q = self.format.real_to_format_tensor(output);
+        if layer.index == self.layer {
+            let f = self
+                .element_seed
+                .borrow_mut()
+                .sample_value_fault(q.values.numel(), self.format.bit_width() as usize);
+            flip_value(self.format.as_ref(), &mut q, f.index, self.bit);
+            *self.fired.borrow_mut() = true;
+        }
+        Some(self.format.format_to_real_tensor(&q))
+    }
+
+    fn applies_to(&self, kind: LayerKind) -> bool {
+        matches!(kind, LayerKind::Conv | LayerKind::Linear)
+    }
+}
+
+/// Measures ΔLoss per bit position for value flips at one layer.
+///
+/// For every bit position of `ge`'s format, runs `trials` inferences over
+/// `(x, targets)`, each flipping that bit of one random element of layer
+/// `layer`'s output, and compares against the error-free run.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn bit_position_campaign(
+    ge: &GoldenEye,
+    model: &dyn Module,
+    x: &Tensor,
+    targets: &[usize],
+    layer: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<BitPositionResult> {
+    assert!(trials > 0, "need at least one trial per bit");
+    let golden = ge.run(model, x.clone());
+    let width = ge.format().bit_width() as usize;
+    let format = ge.format_rc();
+    let mut out = Vec::with_capacity(width);
+    for bit in 0..width {
+        let mut delta_loss = RunningStats::new();
+        let mut mismatch = RunningStats::new();
+        for t in 0..trials {
+            let hook = Rc::new(FixedBitHook {
+                format: format.clone(),
+                layer,
+                bit,
+                element_seed: RefCell::new(inject::Injector::new(
+                    seed.wrapping_add((bit * trials + t) as u64),
+                )),
+                fired: RefCell::new(false),
+            });
+            let mut ctx = Ctx::inference();
+            ctx.add_hook(hook.clone());
+            let xv = ctx.input(x.clone());
+            let faulty = model.forward(&xv, &mut ctx).value();
+            assert!(*hook.fired.borrow(), "layer {layer} never executed");
+            let o = compare_outcomes(&golden, &faulty, targets);
+            delta_loss.push(o.delta_loss);
+            mismatch.push(o.mismatch_rate);
+        }
+        out.push(BitPositionResult { bit, delta_loss, mismatch });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ResNet, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let model = ResNet::new(ResNetConfig::tiny(8), &mut rng);
+        let data = SyntheticDataset::generate(64, 16, 4, 33);
+        train(
+            &model,
+            &data,
+            &TrainConfig { epochs: 6, batch_size: 16, lr: 3e-3, ..Default::default() },
+        );
+        let (x, y) = data.head_batch(8);
+        (model, x, y)
+    }
+
+    #[test]
+    fn covers_every_bit_position() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let res = bit_position_campaign(&ge, &model, &x, &y, layers[0].index, 3, 0);
+        assert_eq!(res.len(), 8);
+        for (i, r) in res.iter().enumerate() {
+            assert_eq!(r.bit, i);
+            assert_eq!(r.delta_loss.count(), 3);
+        }
+    }
+
+    #[test]
+    fn fp_exponent_msb_dominates_mantissa_lsb() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("fp16").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let res = bit_position_campaign(&ge, &model, &x, &y, layers[1].index, 10, 1);
+        // fp16 layout: [sign | e4..e0... wait e5 | m10]: bit 1 = exponent
+        // MSB, bit 15 = mantissa LSB.
+        let exp_msb = res[1].delta_loss.mean();
+        let man_lsb = res[15].delta_loss.mean();
+        assert!(
+            exp_msb >= man_lsb,
+            "exponent MSB ({exp_msb}) should dominate mantissa LSB ({man_lsb})"
+        );
+    }
+
+    #[test]
+    fn bfp_sign_bit_more_vulnerable_than_fp_sign_bit() {
+        // The paper's §IV-C claim: removing the exponent from BFP data
+        // values shortens them, magnifying the sign bit's share of damage
+        // relative to FP (where most flips land in low mantissa bits).
+        let (model, x, y) = setup();
+        let layer_probe = GoldenEye::parse("fp16").unwrap();
+        let layers = layer_probe.discover_layers(&model, x.clone());
+        let target = layers[1].index;
+
+        let fp = GoldenEye::parse("fp:e5m10").unwrap();
+        let fp_res = bit_position_campaign(&fp, &model, &x, &y, target, 12, 2);
+        let bfp = GoldenEye::parse("bfp:e5m10:tensor").unwrap();
+        let bfp_res = bit_position_campaign(&bfp, &model, &x, &y, target, 12, 2);
+
+        // Sign-bit damage as a fraction of the format's total per-bit damage.
+        let share = |res: &[BitPositionResult]| {
+            let total: f32 = res.iter().map(|r| r.delta_loss.mean()).sum();
+            if total == 0.0 {
+                0.0
+            } else {
+                res[0].delta_loss.mean() / total
+            }
+        };
+        let fp_share = share(&fp_res);
+        let bfp_share = share(&bfp_res);
+        assert!(
+            bfp_share > fp_share,
+            "BFP sign share {bfp_share} should exceed FP sign share {fp_share}"
+        );
+    }
+}

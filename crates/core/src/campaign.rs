@@ -1,0 +1,321 @@
+//! Use case C (§IV-C): resiliency analysis — layer-granularity error
+//! injection campaigns measuring ΔLoss (and mismatch) per layer, for value
+//! and metadata faults.
+
+use crate::instrument::{GoldenEye, InjectionPlan};
+use inject::SiteKind;
+use metrics::{compare_outcomes, RunningStats};
+use nn::Module;
+use tensor::Tensor;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Injections per layer.
+    pub injections_per_layer: usize,
+    /// Value-bit or metadata-bit faults.
+    pub kind: SiteKind,
+    /// Base RNG seed; injection `i` at layer `l` uses seed
+    /// `base + l·injections + i`.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { injections_per_layer: 100, kind: SiteKind::Value, seed: 0 }
+    }
+}
+
+/// Per-layer campaign result.
+#[derive(Debug, Clone)]
+pub struct LayerResult {
+    /// Instrumented-layer index.
+    pub layer: usize,
+    /// Layer name.
+    pub name: String,
+    /// ΔLoss statistics over the injections.
+    pub delta_loss: RunningStats,
+    /// Mismatch-rate statistics over the injections.
+    pub mismatch: RunningStats,
+    /// Number of injections that actually fired.
+    pub injections: usize,
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Format name the campaign ran under.
+    pub format: String,
+    /// Fault site kind.
+    pub kind: SiteKind,
+    /// Per-layer results, in execution order.
+    pub layers: Vec<LayerResult>,
+}
+
+impl CampaignResult {
+    /// Mean ΔLoss averaged across layers — the paper's single-value
+    /// resilience summary used in Figure 9.
+    pub fn avg_delta_loss(&self) -> f32 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        self.layers.iter().map(|l| l.delta_loss.mean()).sum::<f32>() / self.layers.len() as f32
+    }
+}
+
+/// Runs a layer-by-layer injection campaign.
+///
+/// For each instrumented layer, performs `cfg.injections_per_layer` unique
+/// single-bit flips (per `cfg.kind`), each in a fresh inference over
+/// `(x, targets)`, and compares against the error-free emulated run.
+///
+/// # Panics
+///
+/// Panics if the format lacks metadata but `cfg.kind` is
+/// [`SiteKind::Metadata`].
+pub fn run_campaign(
+    ge: &GoldenEye,
+    model: &dyn Module,
+    x: &Tensor,
+    targets: &[usize],
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    if cfg.kind == SiteKind::Metadata {
+        assert!(
+            ge.format().supports_metadata_injection(),
+            "{} has no injectable metadata",
+            ge.format().name()
+        );
+    }
+    let layers = ge.discover_layers(model, x.clone());
+    let golden = ge.run(model, x.clone());
+    let mut results = Vec::with_capacity(layers.len());
+    for layer in &layers {
+        let mut delta_loss = RunningStats::new();
+        let mut mismatch = RunningStats::new();
+        let mut fired = 0usize;
+        for i in 0..cfg.injections_per_layer {
+            let seed = cfg
+                .seed
+                .wrapping_add((layer.index * cfg.injections_per_layer + i) as u64);
+            let plan = InjectionPlan::single(layer.index, cfg.kind);
+            let (faulty, rec) = ge.run_with_injection(model, x.clone(), plan, seed);
+            if rec.is_none() {
+                continue;
+            }
+            fired += 1;
+            let outcome = compare_outcomes(&golden, &faulty, targets);
+            delta_loss.push(outcome.delta_loss);
+            mismatch.push(outcome.mismatch_rate);
+        }
+        results.push(LayerResult {
+            layer: layer.index,
+            name: layer.name.clone(),
+            delta_loss,
+            mismatch,
+            injections: fired,
+        });
+    }
+    CampaignResult {
+        format: ge.format().name(),
+        kind: cfg.kind,
+        layers: results,
+    }
+}
+
+/// Runs a **weight**-fault campaign (§V-B: injections in weights as well
+/// as neurons): for each weight parameter (`*.weight`), performs
+/// `cfg.injections_per_layer` single-bit flips in the stored, quantised
+/// weight, each evaluated in a fresh inference and compared against the
+/// error-free run over quantised weights.
+///
+/// Weights are quantised into the format up front (the paper's offline
+/// conversion), and fully restored before returning. `cfg.kind` is
+/// ignored: stored weights are data values.
+pub fn run_weight_campaign(
+    ge: &GoldenEye,
+    model: &dyn Module,
+    x: &Tensor,
+    targets: &[usize],
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    use crate::instrument::ParamSnapshot;
+    let snapshot = ParamSnapshot::capture(model);
+    ge.quantize_weights(model);
+    let golden = ge.run(model, x.clone());
+    let mut weight_params: Vec<(String, usize)> = Vec::new();
+    model.visit_params(&mut |p| {
+        if p.name().ends_with(".weight") {
+            weight_params.push((p.name().to_string(), p.numel()));
+        }
+    });
+    let width = ge.format().bit_width() as usize;
+    let mut results = Vec::with_capacity(weight_params.len());
+    for (li, (name, numel)) in weight_params.iter().enumerate() {
+        let mut injector = inject::Injector::new(cfg.seed.wrapping_add(li as u64));
+        let mut delta_loss = RunningStats::new();
+        let mut mismatch = RunningStats::new();
+        // Remember the clean quantised weight so each flip starts fresh.
+        let mut clean: Option<Tensor> = None;
+        model.visit_params(&mut |p| {
+            if p.name() == name {
+                clean = Some(p.get());
+            }
+        });
+        let clean = clean.expect("weight parameter present");
+        for _ in 0..cfg.injections_per_layer {
+            let fault = injector.sample_value_fault(*numel, width);
+            ge.inject_weight_fault(model, name, fault.index, fault.bit);
+            let faulty = ge.run(model, x.clone());
+            let outcome = compare_outcomes(&golden, &faulty, targets);
+            delta_loss.push(outcome.delta_loss);
+            mismatch.push(outcome.mismatch_rate);
+            // Restore the clean quantised weight.
+            model.visit_params(&mut |p| {
+                if p.name() == name {
+                    p.set(clean.clone());
+                }
+            });
+        }
+        results.push(LayerResult {
+            layer: li,
+            name: name.clone(),
+            delta_loss,
+            mismatch,
+            injections: cfg.injections_per_layer,
+        });
+    }
+    snapshot.restore(model);
+    CampaignResult {
+        format: ge.format().name(),
+        kind: SiteKind::Value,
+        layers: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ResNet, Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = ResNet::new(ResNetConfig::tiny(4), &mut rng);
+        let data = SyntheticDataset::generate(48, 16, 4, 5);
+        train(
+            &model,
+            &data,
+            &TrainConfig { epochs: 4, batch_size: 16, lr: 3e-3, ..Default::default() },
+        );
+        let (x, y) = data.head_batch(8);
+        (model, x, y)
+    }
+
+    #[test]
+    fn value_campaign_covers_all_layers() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
+        let cfg = CampaignConfig { injections_per_layer: 5, kind: SiteKind::Value, seed: 7 };
+        let result = run_campaign(&ge, &model, &x, &y, &cfg);
+        assert_eq!(result.layers.len(), 7); // tiny resnet instrumented layers
+        for l in &result.layers {
+            assert_eq!(l.injections, 5, "layer {} fired {}", l.name, l.injections);
+            assert!(l.delta_loss.mean() >= 0.0);
+        }
+        assert!(result.avg_delta_loss() >= 0.0);
+    }
+
+    #[test]
+    fn metadata_campaign_on_bfp() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
+        let cfg = CampaignConfig { injections_per_layer: 5, kind: SiteKind::Metadata, seed: 7 };
+        let result = run_campaign(&ge, &model, &x, &y, &cfg);
+        assert!(result.layers.iter().all(|l| l.injections == 5));
+    }
+
+    #[test]
+    fn bfp_metadata_flips_hurt_more_than_value_flips() {
+        // The paper's headline Figure 7 finding: BFP metadata errors are
+        // "much more egregious across the board" than value errors,
+        // because one shared-exponent bit corrupts a whole block.
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
+        let value = run_campaign(
+            &ge,
+            &model,
+            &x,
+            &y,
+            &CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 3 },
+        );
+        let meta = run_campaign(
+            &ge,
+            &model,
+            &x,
+            &y,
+            &CampaignConfig { injections_per_layer: 30, kind: SiteKind::Metadata, seed: 3 },
+        );
+        assert!(
+            meta.avg_delta_loss() > value.avg_delta_loss(),
+            "metadata ΔLoss {} should exceed value ΔLoss {}",
+            meta.avg_delta_loss(),
+            value.avg_delta_loss()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no injectable metadata")]
+    fn metadata_campaign_on_fp_panics() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("fp16").unwrap();
+        run_campaign(
+            &ge,
+            &model,
+            &x,
+            &y,
+            &CampaignConfig { injections_per_layer: 1, kind: SiteKind::Metadata, seed: 0 },
+        );
+    }
+
+    #[test]
+    fn weight_campaign_covers_weight_params_and_restores() {
+        let (model, x, y) = setup();
+        let before = models::forward_logits(&model, x.clone());
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 1 };
+        let result = run_weight_campaign(&ge, &model, &x, &y, &cfg);
+        // tiny resnet: stem + 4 block convs + 1 downsample + head = 7
+        // weight tensors.
+        assert_eq!(result.layers.len(), 7);
+        assert!(result.layers.iter().all(|l| l.injections == 4));
+        assert!(result.layers.iter().any(|l| l.name == "head.weight"));
+        let after = models::forward_logits(&model, x);
+        assert!(before.allclose(&after, 0.0), "weights not restored");
+    }
+
+    #[test]
+    fn weight_campaign_is_deterministic() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("int:8").unwrap();
+        let cfg = CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 9 };
+        let a = run_weight_campaign(&ge, &model, &x, &y, &cfg);
+        let b = run_weight_campaign(&ge, &model, &x, &y, &cfg);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.delta_loss.mean(), lb.delta_loss.mean(), "layer {}", la.name);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("int:8").unwrap();
+        let cfg = CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 11 };
+        let a = run_campaign(&ge, &model, &x, &y, &cfg);
+        let b = run_campaign(&ge, &model, &x, &y, &cfg);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.delta_loss.mean(), lb.delta_loss.mean());
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Use case B (§IV-B): design-space exploration — the paper's approximate,
+//! accuracy-preserving recursive binary-tree heuristic for number-format
+//! selection.
+//!
+//! Phase 1 binary-searches the total bit width (4..=32) for the shortest
+//! width whose accuracy stays within the threshold of baseline; phase 2
+//! binary-searches the radix (mantissa/fraction/exponent split) at that
+//! width. Both traversals go *left* (more aggressive) while accuracy holds
+//! and *right* (more conservative) when it drops, exactly the tree walk of
+//! the paper's Figure 5; the whole search visits at most 16 nodes.
+
+use formats::FormatSpec;
+
+/// The format family being explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DseFamily {
+    /// Floating point (`fp:eXmY`).
+    Fp,
+    /// Fixed point (`fxp:1:I:F`).
+    Fxp,
+    /// Integer quantisation (`int:B`).
+    Int,
+    /// Block floating point with the given block size.
+    Bfp {
+        /// Elements per shared exponent.
+        block: usize,
+    },
+    /// AdaptivFloat.
+    Afp,
+}
+
+impl DseFamily {
+    /// The default format spec the heuristic uses at total width `w`
+    /// during the bit-width phase.
+    fn spec_for_width(&self, w: u32) -> FormatSpec {
+        match *self {
+            DseFamily::Fp => {
+                let e = (w / 4).clamp(2, 8);
+                FormatSpec::Fp { exp: e, man: (w - 1 - e).max(1), denormals: true }
+            }
+            DseFamily::Fxp => {
+                let i = (w / 2).max(1);
+                FormatSpec::Fxp { int: i, frac: (w - 1 - i).max(1) }
+            }
+            DseFamily::Int => FormatSpec::Int { bits: w.max(2) },
+            DseFamily::Bfp { block } => FormatSpec::Bfp {
+                exp: 8,
+                man: (w - 1).clamp(1, 23),
+                block,
+            },
+            DseFamily::Afp => {
+                let e = (w / 4).clamp(2, 8);
+                FormatSpec::Afp { exp: e, man: (w - 1 - e).max(1) }
+            }
+        }
+    }
+
+    /// Valid radix range `(lo, hi)` at total width `w`, and a constructor
+    /// from radix to spec. Returns `None` for families without a radix
+    /// phase (INT).
+    #[allow(clippy::type_complexity)]
+    fn radix_phase(&self, w: u32) -> Option<(u32, u32, Box<dyn Fn(u32) -> FormatSpec>)> {
+        match *self {
+            DseFamily::Fp => {
+                // radix = mantissa bits; exponent takes the rest (2..=8).
+                let lo = w.saturating_sub(9).max(1);
+                let hi = w.saturating_sub(3);
+                (lo <= hi).then(|| {
+                    (lo, hi, Box::new(move |m: u32| FormatSpec::Fp {
+                        exp: w - 1 - m,
+                        man: m,
+                        denormals: true,
+                    }) as Box<dyn Fn(u32) -> FormatSpec>)
+                })
+            }
+            DseFamily::Afp => {
+                let lo = w.saturating_sub(9).max(1);
+                let hi = w.saturating_sub(3);
+                (lo <= hi).then(|| {
+                    (lo, hi, Box::new(move |m: u32| FormatSpec::Afp { exp: w - 1 - m, man: m })
+                        as Box<dyn Fn(u32) -> FormatSpec>)
+                })
+            }
+            DseFamily::Fxp => {
+                // radix = fraction bits; integer part takes the rest (≥1).
+                let lo = 1;
+                let hi = w.saturating_sub(2);
+                (lo <= hi).then(|| {
+                    (lo, hi, Box::new(move |f: u32| FormatSpec::Fxp { int: w - 1 - f, frac: f })
+                        as Box<dyn Fn(u32) -> FormatSpec>)
+                })
+            }
+            DseFamily::Bfp { block } => {
+                // radix = shared-exponent width (2..=8); data width fixed.
+                let m = (w - 1).clamp(1, 23);
+                Some((2, 8, Box::new(move |e: u32| FormatSpec::Bfp { exp: e, man: m, block })))
+            }
+            DseFamily::Int => None,
+        }
+    }
+}
+
+/// One visited node of the DSE tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseNode {
+    /// Visit order (0-based).
+    pub index: usize,
+    /// The configuration evaluated at this node.
+    pub spec: FormatSpec,
+    /// Measured accuracy.
+    pub accuracy: f32,
+    /// Whether the accuracy stayed within the allowed drop.
+    pub accepted: bool,
+}
+
+/// The outcome of a DSE run.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Baseline (native FP32) accuracy the threshold is relative to.
+    pub baseline_accuracy: f32,
+    /// Minimum acceptable accuracy.
+    pub threshold: f32,
+    /// Every node visited, in traversal order (≤ 16).
+    pub nodes: Vec<DseNode>,
+    /// The accepted configuration with the fewest total bits, if any.
+    pub best: Option<FormatSpec>,
+}
+
+impl DseResult {
+    /// Nodes that met the accuracy threshold.
+    pub fn accepted_nodes(&self) -> impl Iterator<Item = &DseNode> {
+        self.nodes.iter().filter(|n| n.accepted)
+    }
+}
+
+fn total_bits(spec: &FormatSpec) -> u32 {
+    match *spec {
+        FormatSpec::Fp { exp, man, .. } => 1 + exp + man,
+        FormatSpec::Fxp { int, frac } => 1 + int + frac,
+        FormatSpec::Int { bits } => bits,
+        FormatSpec::Bfp { man, .. } => 1 + man,
+        FormatSpec::Afp { exp, man } => 1 + exp + man,
+        FormatSpec::Posit { n, .. } => n,
+    }
+}
+
+/// Runs the binary-tree DSE heuristic for one format family.
+///
+/// `eval` measures the model's accuracy under a candidate format (over the
+/// whole evaluation set, as in the paper); `baseline_accuracy` is the
+/// native FP32 accuracy and `max_drop` the acceptable loss (the paper's
+/// example: 1% → 0.01).
+///
+/// Visits at most 16 nodes; each candidate is evaluated once.
+pub fn search(
+    family: DseFamily,
+    mut eval: impl FnMut(&FormatSpec) -> f32,
+    baseline_accuracy: f32,
+    max_drop: f32,
+) -> DseResult {
+    const MAX_NODES: usize = 16;
+    let threshold = baseline_accuracy - max_drop;
+    let mut nodes: Vec<DseNode> = Vec::new();
+    let visit = |spec: FormatSpec, nodes: &mut Vec<DseNode>, eval: &mut dyn FnMut(&FormatSpec) -> f32| -> bool {
+        if let Some(prev) = nodes.iter().find(|n| n.spec == spec) {
+            return prev.accepted;
+        }
+        let accuracy = eval(&spec);
+        let accepted = accuracy >= threshold;
+        nodes.push(DseNode { index: nodes.len(), spec, accuracy, accepted });
+        accepted
+    };
+
+    // Phase 1 — bit-width binary search on [4, 32]: go left (halve the
+    // width) while accuracy holds, right (back up) when it breaks.
+    let (mut lo, mut hi) = (4u32, 32u32);
+    let mut best_width: Option<u32> = None;
+    // Root of the tree: check the widest configuration first; if even it
+    // fails, the family is hopeless for this model.
+    if visit(family.spec_for_width(hi), &mut nodes, &mut eval) {
+        best_width = Some(hi);
+        while lo < hi && nodes.len() < MAX_NODES {
+            let mid = (lo + hi) / 2;
+            if visit(family.spec_for_width(mid), &mut nodes, &mut eval) {
+                best_width = Some(mid);
+                hi = mid; // left child: try even shorter
+            } else {
+                lo = mid + 1; // right child: back toward wider
+            }
+        }
+    }
+
+    // Phase 2 — radix binary search at the chosen width.
+    let mut best_spec = best_width.map(|w| family.spec_for_width(w));
+    if let Some(w) = best_width {
+        if let Some((rlo, rhi, make)) = family.radix_phase(w) {
+            let (mut lo, mut hi) = (rlo, rhi);
+            let mut best_radix: Option<u32> = None;
+            if nodes.len() < MAX_NODES && visit(make(hi), &mut nodes, &mut eval) {
+                best_radix = Some(hi);
+                while lo < hi && nodes.len() < MAX_NODES {
+                    let mid = (lo + hi) / 2;
+                    if visit(make(mid), &mut nodes, &mut eval) {
+                        best_radix = Some(mid);
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+            }
+            if let Some(r) = best_radix {
+                // Prefer the radix-phase result if it is no wider.
+                let cand = make(r);
+                if total_bits(&cand) <= total_bits(best_spec.as_ref().unwrap()) {
+                    best_spec = Some(cand);
+                }
+            }
+        }
+    }
+
+    debug_assert!(nodes.len() <= MAX_NODES);
+    DseResult { baseline_accuracy, threshold, nodes, best: best_spec }
+}
+
+/// Result of a [`mixed_precision_search`].
+#[derive(Debug, Clone)]
+pub struct MixedPrecisionResult {
+    /// Chosen candidate index per layer (into the `candidates` slice),
+    /// keyed by layer index.
+    pub assignments: std::collections::HashMap<usize, usize>,
+    /// Total number of evaluations performed.
+    pub evaluations: usize,
+}
+
+impl MixedPrecisionResult {
+    /// Mean data bit width of the assignment, given the candidate widths.
+    pub fn mean_bits(&self, candidates: &[FormatSpec]) -> f32 {
+        if self.assignments.is_empty() {
+            return 0.0;
+        }
+        let total: u32 = self
+            .assignments
+            .values()
+            .map(|&i| total_bits(&candidates[i]))
+            .sum();
+        total as f32 / self.assignments.len() as f32
+    }
+}
+
+/// Mixed-precision DSE — an extension beyond the paper (which lists
+/// mixed-precision support as future work, §V-C): greedily assigns each
+/// instrumented layer the narrowest candidate format that keeps accuracy
+/// within the threshold, holding the other layers at their current
+/// assignment (earlier layers: already chosen; later layers: the widest
+/// candidate).
+///
+/// `candidates` must be ordered widest → narrowest; `eval` measures
+/// accuracy for a full per-layer assignment (candidate index per layer).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn mixed_precision_search(
+    layers: &[usize],
+    candidates: &[FormatSpec],
+    mut eval: impl FnMut(&std::collections::HashMap<usize, usize>) -> f32,
+    baseline_accuracy: f32,
+    max_drop: f32,
+) -> MixedPrecisionResult {
+    assert!(!candidates.is_empty(), "no candidate formats");
+    let threshold = baseline_accuracy - max_drop;
+    let mut assignments: std::collections::HashMap<usize, usize> =
+        layers.iter().map(|&l| (l, 0)).collect();
+    let mut evaluations = 0;
+    for &layer in layers {
+        // Binary search the narrowest acceptable candidate for this layer.
+        let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+        let mut best = 0usize;
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            assignments.insert(layer, mid);
+            evaluations += 1;
+            if eval(&assignments) >= threshold {
+                best = mid;
+                if mid == candidates.len() - 1 {
+                    break;
+                }
+                lo = mid + 1; // try narrower
+            } else {
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1; // back toward wider
+            }
+        }
+        assignments.insert(layer, best);
+    }
+    MixedPrecisionResult { assignments, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic accuracy surface: accuracy degrades smoothly as bits
+    /// shrink; formats with ≥ `knee` total bits are near-baseline.
+    fn surface(knee: u32) -> impl FnMut(&FormatSpec) -> f32 {
+        move |spec: &FormatSpec| {
+            let bits = total_bits(spec);
+            if bits >= knee {
+                0.9
+            } else {
+                0.9 - 0.05 * (knee - bits) as f32
+            }
+        }
+    }
+
+    #[test]
+    fn finds_the_knee() {
+        let res = search(DseFamily::Int, surface(8), 0.9, 0.01);
+        assert_eq!(res.best, Some(FormatSpec::Int { bits: 8 }));
+    }
+
+    #[test]
+    fn visits_at_most_16_nodes() {
+        for knee in [4, 7, 13, 21, 32] {
+            for fam in [
+                DseFamily::Fp,
+                DseFamily::Fxp,
+                DseFamily::Int,
+                DseFamily::Bfp { block: 16 },
+                DseFamily::Afp,
+            ] {
+                let res = search(fam, surface(knee), 0.9, 0.01);
+                assert!(res.nodes.len() <= 16, "{fam:?} knee {knee}: {} nodes", res.nodes.len());
+                assert!(!res.nodes.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn hopeless_family_returns_none() {
+        let res = search(DseFamily::Fp, |_| 0.1, 0.9, 0.01);
+        assert!(res.best.is_none());
+        // Only the root was worth probing.
+        assert_eq!(res.nodes.len(), 1);
+    }
+
+    #[test]
+    fn node_indices_are_visit_ordered() {
+        let res = search(DseFamily::Fp, surface(10), 0.9, 0.01);
+        for (i, n) in res.nodes.iter().enumerate() {
+            assert_eq!(n.index, i);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_evaluations() {
+        let mut calls = Vec::new();
+        let res = search(
+            DseFamily::Fxp,
+            |s| {
+                calls.push(s.clone());
+                0.9
+            },
+            0.9,
+            0.01,
+        );
+        for (i, a) in calls.iter().enumerate() {
+            for b in &calls[i + 1..] {
+                assert_ne!(a, b, "spec {a} evaluated twice");
+            }
+        }
+        assert!(res.best.is_some());
+    }
+
+    #[test]
+    fn accepted_nodes_all_meet_threshold() {
+        let res = search(DseFamily::Afp, surface(12), 0.9, 0.01);
+        for n in res.accepted_nodes() {
+            assert!(n.accuracy >= res.threshold);
+        }
+        // More than half the visited nodes should be acceptable design
+        // points (the paper's observation for its Figure 6).
+        let accepted = res.accepted_nodes().count();
+        assert!(accepted * 2 >= res.nodes.len(), "{accepted}/{}", res.nodes.len());
+    }
+
+    #[test]
+    fn mixed_precision_search_finds_per_layer_knees() {
+        // Layer 0 is sensitive (needs ≥ 8 bits); layer 1 tolerates 4.
+        let candidates: Vec<FormatSpec> = [16u32, 12, 8, 4]
+            .iter()
+            .map(|&b| FormatSpec::Int { bits: b })
+            .collect();
+        let layers = [0usize, 1];
+        let eval = |a: &std::collections::HashMap<usize, usize>| {
+            let bits = |l: usize| match a[&l] {
+                0 => 16,
+                1 => 12,
+                2 => 8,
+                _ => 4,
+            };
+            let ok0 = bits(0) >= 8;
+            let ok1 = bits(1) >= 4;
+            if ok0 && ok1 {
+                0.9
+            } else {
+                0.5
+            }
+        };
+        let res = mixed_precision_search(&layers, &candidates, eval, 0.9, 0.01);
+        assert_eq!(res.assignments[&0], 2, "layer 0 should stop at 8 bits");
+        assert_eq!(res.assignments[&1], 3, "layer 1 should reach 4 bits");
+        assert!((res.mean_bits(&candidates) - 6.0).abs() < 1e-6);
+        assert!(res.evaluations <= 2 * 3 + 2);
+    }
+
+    #[test]
+    fn mixed_precision_hopeless_layer_keeps_widest() {
+        let candidates: Vec<FormatSpec> =
+            [16u32, 8].iter().map(|&b| FormatSpec::Int { bits: b }).collect();
+        let res = mixed_precision_search(&[0], &candidates, |_| 0.1, 0.9, 0.01);
+        assert_eq!(res.assignments[&0], 0);
+    }
+
+    #[test]
+    fn tighter_threshold_prunes_more() {
+        let loose = search(DseFamily::Int, surface(8), 0.9, 0.2);
+        let tight = search(DseFamily::Int, surface(8), 0.9, 0.001);
+        let loose_bits = total_bits(loose.best.as_ref().unwrap());
+        let tight_bits = total_bits(tight.best.as_ref().unwrap());
+        assert!(loose_bits <= tight_bits);
+    }
+}

@@ -1,0 +1,826 @@
+//! The GoldenEye simulator: instruments a model with number-format
+//! emulation hooks, optional fault injection, and the range detector.
+//!
+//! Mirrors the paper's Figure 2 pipeline: read each layer's FP32 output →
+//! convert to the emulated format (extracting hardware metadata) → maybe
+//! flip a bit in a value or a metadata register → write the result back as
+//! the nearest FP32 value → continue the inference.
+
+use formats::NumberFormat;
+use inject::{flip_metadata, flip_value, Injector, MetadataFlip, RangeProfile, SiteKind, ValueFlip};
+use nn::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tensor::Tensor;
+
+/// Which layer kinds get instrumented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerFilter {
+    /// CONV and LINEAR only — the paper's default (§V-B).
+    ConvLinear,
+    /// Every layer type.
+    All,
+}
+
+impl LayerFilter {
+    /// Whether `kind` is instrumented under this filter.
+    pub fn matches(&self, kind: LayerKind) -> bool {
+        match self {
+            LayerFilter::ConvLinear => matches!(kind, LayerKind::Conv | LayerKind::Linear),
+            LayerFilter::All => true,
+        }
+    }
+}
+
+/// Where to inject during an instrumented run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionPlan {
+    /// Index of the instrumented layer to corrupt (execution order among
+    /// *instrumented* layers).
+    pub layer: usize,
+    /// Value-bit or metadata-bit flip.
+    pub kind: SiteKind,
+    /// Number of distinct bits to flip in the chosen value/word (1 =
+    /// the classic single-bit model; >1 models multi-bit upsets).
+    pub bits: u32,
+}
+
+impl InjectionPlan {
+    /// A single-bit fault at `layer`.
+    pub fn single(layer: usize, kind: SiteKind) -> Self {
+        InjectionPlan { layer, kind, bits: 1 }
+    }
+
+    /// A `bits`-bit multi-bit upset at `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn multi(layer: usize, kind: SiteKind, bits: u32) -> Self {
+        assert!(bits > 0, "a fault must flip at least one bit");
+        InjectionPlan { layer, kind, bits }
+    }
+}
+
+/// What an injection actually did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectionRecord {
+    /// A data-value flip.
+    Value {
+        /// The instrumented layer it landed in.
+        layer: LayerInfo,
+        /// The executed flip.
+        flip: ValueFlip,
+    },
+    /// A metadata-register flip.
+    Metadata {
+        /// The instrumented layer it landed in.
+        layer: LayerInfo,
+        /// The executed flip.
+        flip: MetadataFlip,
+    },
+}
+
+/// Range-detector mode for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RangeMode {
+    Off,
+    Profile,
+    Detect,
+}
+
+/// The number-format emulation hook (with optional injection), installed
+/// on every instrumented layer.
+struct EmulationHook {
+    formats: Rc<FormatTable>,
+    filter: LayerFilter,
+    plan: Option<InjectionPlan>,
+    injector: RefCell<Injector>,
+    record: RefCell<Option<InjectionRecord>>,
+    range: Rc<RangeProfile>,
+    range_mode: RangeMode,
+}
+
+/// Default format plus per-layer overrides (mixed precision).
+struct FormatTable {
+    default: Rc<dyn NumberFormat>,
+    per_layer: std::collections::HashMap<usize, Rc<dyn NumberFormat>>,
+}
+
+impl FormatTable {
+    fn resolve(&self, layer: usize) -> &dyn NumberFormat {
+        self.per_layer
+            .get(&layer)
+            .map(Rc::as_ref)
+            .unwrap_or(self.default.as_ref())
+    }
+}
+
+impl ForwardHook for EmulationHook {
+    fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
+        let format = self.formats.resolve(layer.index);
+        let mut q = format.real_to_format_tensor(output);
+        if let Some(plan) = &self.plan {
+            if plan.layer == layer.index {
+                let mut inj = self.injector.borrow_mut();
+                let record = match plan.kind {
+                    SiteKind::Value => {
+                        let numel = q.values.numel();
+                        let width = format.bit_width() as usize;
+                        let f = inj.sample_value_fault(numel, width);
+                        let flip = if plan.bits <= 1 {
+                            flip_value(format, &mut q, f.index, f.bit)
+                        } else {
+                            let bits = sample_distinct_bits(&mut inj, width, plan.bits, f.bit);
+                            inject::flip_value_multi(format, &mut q, f.index, &bits)
+                        };
+                        InjectionRecord::Value { layer: layer.clone(), flip }
+                    }
+                    SiteKind::Metadata => {
+                        let words = q.meta.word_count();
+                        let width = q.meta.word_width();
+                        let f = inj.sample_metadata_fault(words, width);
+                        let mut flip = flip_metadata(format, &mut q, f.index, f.bit);
+                        for &b in sample_distinct_bits(&mut inj, width, plan.bits, f.bit)
+                            .iter()
+                            .skip(1)
+                        {
+                            flip = flip_metadata(format, &mut q, f.index, b);
+                        }
+                        InjectionRecord::Metadata { layer: layer.clone(), flip }
+                    }
+                };
+                *self.record.borrow_mut() = Some(record);
+            }
+        }
+        let values = format.format_to_real_tensor(&q);
+        let values = match self.range_mode {
+            RangeMode::Off => values,
+            RangeMode::Profile => {
+                self.range.observe(layer.index, &values);
+                values
+            }
+            RangeMode::Detect => self.range.clamp(layer.index, &values),
+        };
+        Some(values)
+    }
+
+    fn applies_to(&self, kind: LayerKind) -> bool {
+        self.filter.matches(kind)
+    }
+}
+
+/// Samples `count` distinct bit positions in `0..width`, the first being
+/// `first` (already drawn by the caller).
+fn sample_distinct_bits(inj: &mut Injector, width: usize, count: u32, first: usize) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let count = (count as usize).min(width);
+    let mut rest: Vec<usize> = (0..width).filter(|&b| b != first).collect();
+    rest.shuffle(inj.rng());
+    let mut bits = vec![first];
+    bits.extend(rest.into_iter().take(count - 1));
+    bits
+}
+
+/// Hook that only records which layers would be instrumented.
+struct DiscoveryHook {
+    filter: LayerFilter,
+    layers: RefCell<Vec<LayerInfo>>,
+}
+
+impl ForwardHook for DiscoveryHook {
+    fn on_output(&self, layer: &LayerInfo, _output: &Tensor) -> Option<Tensor> {
+        self.layers.borrow_mut().push(layer.clone());
+        None
+    }
+
+    fn applies_to(&self, kind: LayerKind) -> bool {
+        self.filter.matches(kind)
+    }
+}
+
+/// The GoldenEye functional simulator for one number format.
+///
+/// # Examples
+///
+/// ```
+/// use goldeneye::GoldenEye;
+/// use models::{ResNet, ResNetConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tensor::Tensor;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let model = ResNet::new(ResNetConfig::tiny(4), &mut rng);
+/// let ge = GoldenEye::parse("fp:e4m3").unwrap();
+/// let logits = ge.run(&model, Tensor::zeros([1, 3, 8, 8]));
+/// assert_eq!(logits.dims(), &[1, 4]);
+/// ```
+pub struct GoldenEye {
+    format: Rc<dyn NumberFormat>,
+    layer_formats: std::collections::HashMap<usize, Rc<dyn NumberFormat>>,
+    filter: LayerFilter,
+    range: Rc<RangeProfile>,
+    detect: bool,
+}
+
+impl std::fmt::Debug for GoldenEye {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GoldenEye(format={}, overrides={}, filter={:?}, detect={})",
+            self.format.name(),
+            self.layer_formats.len(),
+            self.filter,
+            self.detect
+        )
+    }
+}
+
+impl GoldenEye {
+    /// Creates a simulator for `format` with the paper's default layer
+    /// filter (CONV + LINEAR) and the range detector disabled.
+    pub fn new(format: Box<dyn NumberFormat>) -> Self {
+        GoldenEye {
+            format: Rc::from(format),
+            layer_formats: std::collections::HashMap::new(),
+            filter: LayerFilter::ConvLinear,
+            range: Rc::new(RangeProfile::new()),
+            detect: false,
+        }
+    }
+
+    /// Creates a simulator from a format spec string (see
+    /// [`formats::FormatSpec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for invalid specs.
+    pub fn parse(spec: &str) -> Result<Self, formats::ParseFormatError> {
+        Ok(Self::new(spec.parse::<formats::FormatSpec>()?.build()))
+    }
+
+    /// Sets the layer filter.
+    pub fn with_filter(mut self, filter: LayerFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Enables the range detector (after [`GoldenEye::profile_ranges`] has
+    /// been called, faulty activations are clamped into profiled ranges).
+    pub fn with_range_detector(mut self, on: bool) -> Self {
+        self.detect = on;
+        self
+    }
+
+    /// Overrides the format for one instrumented layer (mixed precision —
+    /// an extension beyond the paper, which lists mixed-precision support
+    /// as future work in §V-C). Layer indices are those reported by
+    /// [`GoldenEye::discover_layers`].
+    pub fn with_layer_format(mut self, layer: usize, format: Box<dyn NumberFormat>) -> Self {
+        self.layer_formats.insert(layer, Rc::from(format));
+        self
+    }
+
+    /// The format used for a given instrumented layer (the default unless
+    /// overridden).
+    pub fn format_for_layer(&self, layer: usize) -> &dyn NumberFormat {
+        self.layer_formats
+            .get(&layer)
+            .map(Rc::as_ref)
+            .unwrap_or(self.format.as_ref())
+    }
+
+    /// The emulated format.
+    pub fn format(&self) -> &dyn NumberFormat {
+        self.format.as_ref()
+    }
+
+    /// Shared handle to the default format (for custom hooks).
+    pub(crate) fn format_rc(&self) -> Rc<dyn NumberFormat> {
+        self.format.clone()
+    }
+
+    /// Lists the layers that will be instrumented for `model` (by running
+    /// one discovery pass on `sample`).
+    pub fn discover_layers(&self, model: &dyn Module, sample: Tensor) -> Vec<LayerInfo> {
+        let hook = Rc::new(DiscoveryHook { filter: self.filter, layers: RefCell::new(Vec::new()) });
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(hook.clone());
+        let x = ctx.input(sample);
+        model.forward(&x, &mut ctx);
+        let layers = hook.layers.borrow().clone();
+        layers
+    }
+
+    /// Runs an emulated inference (no injection) and returns the logits.
+    pub fn run(&self, model: &dyn Module, x: Tensor) -> Tensor {
+        self.run_inner(model, x, None, 0).0
+    }
+
+    /// Runs an emulated inference with one fault injected per `plan`,
+    /// sampling the fault location from `seed`.
+    ///
+    /// Returns the logits and the record of what was flipped (None if the
+    /// planned layer never executed).
+    pub fn run_with_injection(
+        &self,
+        model: &dyn Module,
+        x: Tensor,
+        plan: InjectionPlan,
+        seed: u64,
+    ) -> (Tensor, Option<InjectionRecord>) {
+        self.run_inner(model, x, Some(plan), seed)
+    }
+
+    fn format_table(&self) -> Rc<FormatTable> {
+        Rc::new(FormatTable {
+            default: self.format.clone(),
+            per_layer: self.layer_formats.clone(),
+        })
+    }
+
+    fn run_inner(
+        &self,
+        model: &dyn Module,
+        x: Tensor,
+        plan: Option<InjectionPlan>,
+        seed: u64,
+    ) -> (Tensor, Option<InjectionRecord>) {
+        let hook = Rc::new(EmulationHook {
+            formats: self.format_table(),
+            filter: self.filter,
+            plan,
+            injector: RefCell::new(Injector::new(seed)),
+            record: RefCell::new(None),
+            range: self.range.clone(),
+            range_mode: if self.detect && !self.range.is_empty() {
+                RangeMode::Detect
+            } else {
+                RangeMode::Off
+            },
+        });
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(hook.clone());
+        let xv = ctx.input(x);
+        let logits = model.forward(&xv, &mut ctx).value();
+        let record = hook.record.borrow().clone();
+        (logits, record)
+    }
+
+    /// Profiles per-layer activation ranges on clean emulated runs, for
+    /// the range detector.
+    pub fn profile_ranges(&self, model: &dyn Module, batches: &[Tensor]) {
+        for x in batches {
+            let hook = Rc::new(EmulationHook {
+                formats: self.format_table(),
+                filter: self.filter,
+                plan: None,
+                injector: RefCell::new(Injector::new(0)),
+                record: RefCell::new(None),
+                range: self.range.clone(),
+                range_mode: RangeMode::Profile,
+            });
+            let mut ctx = Ctx::inference();
+            ctx.add_hook(hook);
+            let xv = ctx.input(x.clone());
+            model.forward(&xv, &mut ctx);
+        }
+    }
+
+    /// The range profile built by [`GoldenEye::profile_ranges`].
+    pub fn range_profile(&self) -> &RangeProfile {
+        &self.range
+    }
+
+    /// Quantises the model's weight tensors (parameters named `*.weight`,
+    /// i.e. conv/linear kernels) into the emulated format, in place.
+    ///
+    /// The paper performs weight conversion offline for the same reason —
+    /// it needs no runtime hook. Returns the number of parameters touched.
+    pub fn quantize_weights(&self, model: &dyn Module) -> usize {
+        let mut touched = 0;
+        model.visit_params(&mut |p: &Param| {
+            if p.name().ends_with(".weight") {
+                let q = self.format.real_to_format_tensor(&p.get());
+                p.set(self.format.format_to_real_tensor(&q));
+                touched += 1;
+            }
+        });
+        touched
+    }
+
+    /// Injects one bit flip into a stored weight (offline weight
+    /// injection). Returns the record, or `None` if no parameter matches
+    /// `param_name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element`/`bit` is out of range for the parameter/format.
+    pub fn inject_weight_fault(
+        &self,
+        model: &dyn Module,
+        param_name: &str,
+        element: usize,
+        bit: usize,
+    ) -> Option<ValueFlip> {
+        let mut result = None;
+        model.visit_params(&mut |p: &Param| {
+            if p.name() == param_name && result.is_none() {
+                let mut q = self.format.real_to_format_tensor(&p.get());
+                let flip = flip_value(self.format.as_ref(), &mut q, element, bit);
+                p.set(self.format.format_to_real_tensor(&q));
+                result = Some(flip);
+            }
+        });
+        result
+    }
+}
+
+/// A forward hook for **fault-aware training** (§V-D: GoldenEye "can
+/// potentially be used to build resilient models via novel training
+/// routines"): on every instrumented layer of every training pass, the
+/// output is quantised into the format and, with probability
+/// `fault_prob`, one random value bit is flipped.
+///
+/// Install it on a training [`Ctx`]; gradients flow through the
+/// straight-through estimator, so the model learns under the fault model
+/// it will face at inference.
+///
+/// # Examples
+///
+/// ```
+/// use goldeneye::FaultyTrainingHook;
+/// use nn::Ctx;
+/// use std::rc::Rc;
+///
+/// let hook = FaultyTrainingHook::parse("int:8", 0.1, 42)?;
+/// let mut ctx = Ctx::training();
+/// ctx.add_hook(Rc::new(hook));
+/// # Ok::<(), formats::ParseFormatError>(())
+/// ```
+pub struct FaultyTrainingHook {
+    format: Rc<dyn NumberFormat>,
+    injector: RefCell<Injector>,
+    fault_prob: f64,
+    injections: RefCell<u64>,
+}
+
+impl std::fmt::Debug for FaultyTrainingHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FaultyTrainingHook(format={}, p={}, fired={})",
+            self.format.name(),
+            self.fault_prob,
+            self.injections.borrow()
+        )
+    }
+}
+
+impl FaultyTrainingHook {
+    /// Creates a hook that quantises into `format` and injects one random
+    /// value-bit flip per instrumented layer with probability
+    /// `fault_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault_prob ∉ [0, 1]`.
+    pub fn new(format: Box<dyn NumberFormat>, fault_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fault_prob), "fault_prob must be a probability");
+        FaultyTrainingHook {
+            format: Rc::from(format),
+            injector: RefCell::new(Injector::new(seed)),
+            fault_prob,
+            injections: RefCell::new(0),
+        }
+    }
+
+    /// Creates the hook from a format spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for invalid specs.
+    pub fn parse(spec: &str, fault_prob: f64, seed: u64) -> Result<Self, formats::ParseFormatError> {
+        Ok(Self::new(spec.parse::<formats::FormatSpec>()?.build(), fault_prob, seed))
+    }
+
+    /// Number of faults injected so far.
+    pub fn injections_fired(&self) -> u64 {
+        *self.injections.borrow()
+    }
+}
+
+impl ForwardHook for FaultyTrainingHook {
+    fn on_output(&self, _layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
+        let mut q = self.format.real_to_format_tensor(output);
+        let mut inj = self.injector.borrow_mut();
+        if rand::Rng::gen_bool(inj.rng(), self.fault_prob) {
+            let f = inj.sample_value_fault(q.values.numel(), self.format.bit_width() as usize);
+            flip_value(self.format.as_ref(), &mut q, f.index, f.bit);
+            *self.injections.borrow_mut() += 1;
+        }
+        Some(self.format.format_to_real_tensor(&q))
+    }
+}
+
+/// A snapshot of all model parameters, for restoring after weight
+/// quantisation or weight-fault experiments.
+#[derive(Debug)]
+pub struct ParamSnapshot {
+    values: Vec<(String, Tensor)>,
+}
+
+impl ParamSnapshot {
+    /// Captures the current values of every parameter.
+    pub fn capture(model: &dyn Module) -> Self {
+        let mut values = Vec::new();
+        model.visit_params(&mut |p: &Param| values.push((p.name().to_string(), p.get())));
+        ParamSnapshot { values }
+    }
+
+    /// Restores the captured values (matched positionally by name).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameter set changed since capture.
+    pub fn restore(&self, model: &dyn Module) {
+        let mut i = 0;
+        model.visit_params(&mut |p: &Param| {
+            let (name, value) = &self.values[i];
+            assert_eq!(p.name(), name, "parameter order changed since snapshot");
+            p.set(value.clone());
+            i += 1;
+        });
+        assert_eq!(i, self.values.len(), "parameter count changed since snapshot");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use models::{ResNet, ResNetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> ResNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ResNet::new(ResNetConfig::tiny(4), &mut rng)
+    }
+
+    fn sample(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn([2, 3, 8, 8], &mut rng)
+    }
+
+    #[test]
+    fn fp32_emulation_is_transparent() {
+        let model = tiny_model(1);
+        let x = sample(2);
+        let native = models::forward_logits(&model, x.clone());
+        let ge = GoldenEye::parse("fp32").unwrap();
+        let emulated = ge.run(&model, x);
+        assert!(native.allclose(&emulated, 1e-6), "FP32 emulation must be lossless");
+    }
+
+    #[test]
+    fn low_precision_changes_logits() {
+        let model = tiny_model(1);
+        let x = sample(2);
+        let native = models::forward_logits(&model, x.clone());
+        let ge = GoldenEye::parse("fp:e2m2").unwrap();
+        let emulated = ge.run(&model, x);
+        assert!(!native.allclose(&emulated, 1e-6), "e2m2 should perturb logits");
+        assert!(emulated.all_finite());
+    }
+
+    #[test]
+    fn discover_layers_conv_linear_default() {
+        let model = tiny_model(1);
+        let ge = GoldenEye::parse("fp16").unwrap();
+        let layers = ge.discover_layers(&model, sample(2));
+        // tiny resnet: stem conv + 2 blocks × 2 convs + 1 downsample conv
+        // + head linear = 1 + 4 + 1 + 1 = 7.
+        assert_eq!(layers.len(), 7);
+        assert!(layers
+            .iter()
+            .all(|l| matches!(l.kind, LayerKind::Conv | LayerKind::Linear)));
+        // Indices are execution-ordered (global hook-point counters, so
+        // strictly increasing but not necessarily contiguous).
+        for w in layers.windows(2) {
+            assert!(w[0].index < w[1].index);
+        }
+    }
+
+    #[test]
+    fn all_filter_sees_more_layers() {
+        let model = tiny_model(1);
+        let ge = GoldenEye::parse("fp16").unwrap().with_filter(LayerFilter::All);
+        let all = ge.discover_layers(&model, sample(2));
+        let ge2 = GoldenEye::parse("fp16").unwrap();
+        let convlinear = ge2.discover_layers(&model, sample(2));
+        assert!(all.len() > convlinear.len());
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let model = tiny_model(3);
+        let x = sample(4);
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let plan = InjectionPlan::single(layers[2].index, SiteKind::Value);
+        let (l1, r1) = ge.run_with_injection(&model, x.clone(), plan, 99);
+        let (l2, r2) = ge.run_with_injection(&model, x, plan, 99);
+        assert_eq!(l1, l2);
+        assert_eq!(r1, r2);
+        assert!(r1.is_some());
+    }
+
+    #[test]
+    fn injection_record_names_right_layer() {
+        let model = tiny_model(3);
+        let x = sample(4);
+        let ge = GoldenEye::parse("int:8").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let target = layers[1].index;
+        let plan = InjectionPlan::single(target, SiteKind::Metadata);
+        let (_, rec) = ge.run_with_injection(&model, x, plan, 5);
+        match rec.expect("injection must fire") {
+            InjectionRecord::Metadata { layer, .. } => assert_eq!(layer.index, target),
+            other => panic!("expected metadata record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_beyond_layer_count_never_fires() {
+        let model = tiny_model(3);
+        let x = sample(4);
+        let ge = GoldenEye::parse("fp16").unwrap();
+        let plan = InjectionPlan::single(999, SiteKind::Value);
+        let (_, rec) = ge.run_with_injection(&model, x, plan, 5);
+        assert!(rec.is_none());
+    }
+
+    #[test]
+    fn range_detector_clamps_faulty_runs() {
+        let model = tiny_model(7);
+        let x = sample(8);
+        let ge = GoldenEye::parse("fp16").unwrap().with_range_detector(true);
+        ge.profile_ranges(&model, std::slice::from_ref(&x));
+        assert!(!ge.range_profile().is_empty());
+        // Find a seed whose injection produces a huge value without the
+        // detector, then verify the detector tames it.
+        let plain = GoldenEye::parse("fp16").unwrap();
+        let plan = InjectionPlan::single(0, SiteKind::Value);
+        let mut tamed = 0;
+        for seed in 0..40 {
+            let (lf, _) = plain.run_with_injection(&model, x.clone(), plan, seed);
+            let (ld, _) = ge.run_with_injection(&model, x.clone(), plan, seed);
+            assert!(ld.all_finite(), "detector output must be finite");
+            if lf.max_abs() > ld.max_abs() {
+                tamed += 1;
+            }
+        }
+        assert!(tamed > 0, "detector never reduced corruption over 40 seeds");
+    }
+
+    #[test]
+    fn weight_quantization_and_snapshot_restore() {
+        let model = tiny_model(11);
+        let x = sample(12);
+        let before = models::forward_logits(&model, x.clone());
+        let snap = ParamSnapshot::capture(&model);
+        let ge = GoldenEye::parse("fp:e3m2").unwrap();
+        let touched = ge.quantize_weights(&model);
+        assert!(touched >= 6, "should quantize all conv/linear weights");
+        let after = models::forward_logits(&model, x.clone());
+        assert!(!before.allclose(&after, 1e-7), "weight quantisation must act");
+        snap.restore(&model);
+        let restored = models::forward_logits(&model, x);
+        assert!(before.allclose(&restored, 0.0), "snapshot restore must be exact");
+    }
+
+    #[test]
+    fn faulty_training_hook_fires_proportionally() {
+        let model = tiny_model(29);
+        let hook = Rc::new(FaultyTrainingHook::parse("int:8", 1.0, 1).unwrap());
+        let mut ctx = nn::Ctx::training();
+        ctx.add_hook(hook.clone());
+        let x = ctx.input(sample(30));
+        model.forward(&x, &mut ctx);
+        // p = 1.0 → every instrumented layer fires.
+        assert_eq!(hook.injections_fired(), 7);
+        let silent = Rc::new(FaultyTrainingHook::parse("int:8", 0.0, 1).unwrap());
+        let mut ctx = nn::Ctx::training();
+        ctx.add_hook(silent.clone());
+        let x = ctx.input(sample(30));
+        model.forward(&x, &mut ctx);
+        assert_eq!(silent.injections_fired(), 0);
+    }
+
+    #[test]
+    fn faulty_training_still_backpropagates() {
+        let model = tiny_model(31);
+        let hook = Rc::new(FaultyTrainingHook::parse("fp:e4m3", 0.5, 2).unwrap());
+        let mut ctx = nn::Ctx::training();
+        ctx.add_hook(hook);
+        let x = ctx.input(sample(32));
+        let logits = model.forward(&x, &mut ctx);
+        let loss = logits.cross_entropy(&[0, 1]);
+        let grads = loss.backward();
+        for (p, v) in ctx.bindings() {
+            assert!(grads.get(v).is_some(), "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn multi_bit_upsets_are_at_least_as_damaging_on_average() {
+        let model = tiny_model(23);
+        let x = sample(24);
+        let ge = GoldenEye::parse("int:8").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let golden = ge.run(&model, x.clone());
+        let damage = |bits: u32| {
+            let mut total = 0.0f32;
+            for seed in 0..30 {
+                let plan = InjectionPlan::multi(layers[0].index, SiteKind::Value, bits);
+                let (faulty, rec) = ge.run_with_injection(&model, x.clone(), plan, seed);
+                assert!(rec.is_some());
+                total += tensor::ops::sub(&golden, &faulty).map(f32::abs).sum_all();
+            }
+            total
+        };
+        let single = damage(1);
+        let triple = damage(3);
+        assert!(
+            triple >= single * 0.5,
+            "3-bit upsets ({triple}) unexpectedly tiny vs single ({single})"
+        );
+        assert!(triple > 0.0);
+    }
+
+    #[test]
+    fn multi_bit_flip_record_is_deterministic() {
+        let model = tiny_model(23);
+        let x = sample(24);
+        let ge = GoldenEye::parse("fp16").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let plan = InjectionPlan::multi(layers[1].index, SiteKind::Value, 4);
+        let (a, ra) = ge.run_with_injection(&model, x.clone(), plan, 77);
+        let (b, rb) = ge.run_with_injection(&model, x, plan, 77);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn mixed_precision_override_applies_per_layer() {
+        let model = tiny_model(17);
+        let x = sample(18);
+        // FP32 everywhere is lossless…
+        let pure = GoldenEye::parse("fp32").unwrap();
+        let lossless = pure.run(&model, x.clone());
+        // …but overriding one layer with a 4-bit float perturbs the output.
+        let layers = pure.discover_layers(&model, x.clone());
+        let mixed = GoldenEye::parse("fp32")
+            .unwrap()
+            .with_layer_format(layers[1].index, "fp:e2m1".parse::<formats::FormatSpec>().unwrap().build());
+        let perturbed = mixed.run(&model, x.clone());
+        assert!(!lossless.allclose(&perturbed, 1e-7), "override had no effect");
+        // And it is milder than quantising every layer to 4 bits.
+        let all4 = GoldenEye::parse("fp:e2m1").unwrap().run(&model, x.clone());
+        let d_mixed = tensor::ops::sub(&lossless, &perturbed).map(f32::abs).sum_all();
+        let d_all = tensor::ops::sub(&lossless, &all4).map(f32::abs).sum_all();
+        assert!(d_mixed < d_all, "single-layer override should hurt less");
+        assert_eq!(mixed.format_for_layer(layers[1].index).name(), "fp_e2m1");
+        assert_eq!(mixed.format_for_layer(layers[0].index).name(), "fp_e8m23");
+    }
+
+    #[test]
+    fn mixed_precision_injection_uses_layer_format() {
+        let model = tiny_model(19);
+        let x = sample(20);
+        let pure = GoldenEye::parse("fp32").unwrap();
+        let layers = pure.discover_layers(&model, x.clone());
+        let target = layers[0].index;
+        // Override the target layer with INT8 (metadata-capable); the
+        // default FP32 has no metadata, so a metadata injection only
+        // works because the per-layer format is used.
+        let mixed = GoldenEye::parse("fp32")
+            .unwrap()
+            .with_layer_format(target, Box::new(formats::IntQuant::new(8)));
+        let plan = InjectionPlan::single(target, SiteKind::Metadata);
+        let (_, rec) = mixed.run_with_injection(&model, x, plan, 3);
+        assert!(matches!(rec, Some(InjectionRecord::Metadata { .. })));
+    }
+
+    #[test]
+    fn weight_fault_injection() {
+        let model = tiny_model(13);
+        let ge = GoldenEye::parse("fp16").unwrap();
+        let snap = ParamSnapshot::capture(&model);
+        let flip = ge.inject_weight_fault(&model, "head.weight", 0, 0);
+        let flip = flip.expect("head.weight exists");
+        assert_ne!(flip.old, flip.new);
+        snap.restore(&model);
+        assert!(ge.inject_weight_fault(&model, "nonexistent", 0, 0).is_none());
+    }
+}

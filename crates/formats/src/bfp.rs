@@ -1,0 +1,333 @@
+//! Block floating point: blocks of values share one exponent register.
+//!
+//! Value-wise BFP resembles FP, but in hardware the shared exponent lives
+//! once per block, so a single bit flip there corrupts the *entire block* —
+//! the multi-bit-flip equivalence the paper highlights (§II-B). The shared
+//! exponents are exposed as [`Metadata::SharedExponents`] — error site #7.
+//!
+//! Unlike QPyTorch's BFP (whose exponent is pegged to 8 bits — a limitation
+//! the paper calls out), the exponent width here is configurable.
+
+use crate::bitstring::Bitstring;
+use crate::format::{DynamicRange, NumberFormat, Quantized};
+use crate::fp::{exp2, exponent_of, round_ties_even};
+use crate::metadata::Metadata;
+use tensor::Tensor;
+
+/// A block-floating-point format: `exp_bits`-wide shared exponent per
+/// block of `block_size` elements; each element stores sign + `man_bits`
+/// of magnitude aligned to the block exponent.
+///
+/// # Examples
+///
+/// ```
+/// use formats::{BlockFloatingPoint, NumberFormat};
+/// use tensor::Tensor;
+/// let bfp = BlockFloatingPoint::new(5, 5, 4);
+/// let x = Tensor::from_vec(vec![8.0, 1.0, 0.25, 0.01], [4]);
+/// let q = bfp.real_to_format_tensor(&x);
+/// // 0.01 is far below the block's (max-driven) resolution: rounded to 0.
+/// assert_eq!(q.values.as_slice()[3], 0.0);
+/// assert_eq!(q.values.as_slice()[0], 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockFloatingPoint {
+    exp_bits: u32,
+    man_bits: u32,
+    block_size: usize,
+}
+
+impl BlockFloatingPoint {
+    /// Creates a BFP format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits ∉ 2..=11`, `man_bits ∉ 1..=23`, or
+    /// `block_size == 0`.
+    pub fn new(exp_bits: u32, man_bits: u32, block_size: usize) -> Self {
+        assert!((2..=11).contains(&exp_bits), "exponent width {exp_bits} out of range");
+        assert!((1..=23).contains(&man_bits), "mantissa width {man_bits} out of range");
+        assert!(block_size > 0, "block size must be positive");
+        BlockFloatingPoint { exp_bits, man_bits, block_size }
+    }
+
+    /// Creates a BFP format whose block is the *entire tensor* — one
+    /// shared exponent per layer, the configuration the paper's §IV
+    /// experiments discuss ("a large shared block size across an entire
+    /// layer").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits ∉ 2..=11` or `man_bits ∉ 1..=23`.
+    pub fn per_tensor(exp_bits: u32, man_bits: u32) -> Self {
+        Self::new(exp_bits, man_bits, usize::MAX)
+    }
+
+    /// Whether the block spans the whole tensor.
+    pub fn is_per_tensor(&self) -> bool {
+        self.block_size == usize::MAX
+    }
+
+    /// Shared-exponent width in bits.
+    pub fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Per-element mantissa width in bits.
+    pub fn man_bits(&self) -> u32 {
+        self.man_bits
+    }
+
+    /// Elements per shared exponent.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn bias(&self) -> i64 {
+        (1i64 << (self.exp_bits - 1)) - 1
+    }
+
+    fn max_code(&self) -> i64 {
+        (1i64 << self.exp_bits) - 1
+    }
+
+    /// The biased exponent code chosen for a block with maximum magnitude
+    /// `max_abs`.
+    fn code_for_block(&self, max_abs: f64) -> u32 {
+        if max_abs == 0.0 {
+            return 0;
+        }
+        let e = exponent_of(max_abs);
+        (e + self.bias()).clamp(0, self.max_code()) as u32
+    }
+
+    /// Quantisation step for a block: `2^(shared − m + 1)`.
+    fn step_for_code(&self, code: u32) -> f64 {
+        let shared = code as i64 - self.bias();
+        exp2(shared - self.man_bits as i64 + 1)
+    }
+
+    fn mag_max(&self) -> i64 {
+        (1i64 << self.man_bits) - 1
+    }
+
+    fn codes_of(meta: &Metadata) -> (&[u32], usize) {
+        match meta {
+            Metadata::SharedExponents { codes, block_size, .. } => (codes, *block_size),
+            other => panic!("BFP expects SharedExponents metadata, got {other:?}"),
+        }
+    }
+}
+
+impl NumberFormat for BlockFloatingPoint {
+    fn name(&self) -> String {
+        if self.is_per_tensor() {
+            format!("bfp_e{}m{}_btensor", self.exp_bits, self.man_bits)
+        } else {
+            format!("bfp_e{}m{}_b{}", self.exp_bits, self.man_bits, self.block_size)
+        }
+    }
+
+    /// Per-element data width (sign + mantissa); the shared exponent is
+    /// amortised metadata.
+    fn bit_width(&self) -> u32 {
+        1 + self.man_bits
+    }
+
+    fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
+        let n = t.numel();
+        let nblocks = n.div_ceil(self.block_size);
+        let mut codes = Vec::with_capacity(nblocks);
+        let mut values = Vec::with_capacity(n);
+        for block in t.as_slice().chunks(self.block_size) {
+            let max_abs = block.iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()));
+            let code = self.code_for_block(max_abs);
+            codes.push(code);
+            let step = self.step_for_code(code);
+            for &x in block {
+                let sign = if x < 0.0 { -1.0 } else { 1.0 };
+                let mag = round_ties_even((x as f64).abs() / step)
+                    .min(self.mag_max() as f64);
+                values.push((sign * mag * step) as f32);
+            }
+        }
+        Quantized {
+            values: Tensor::from_vec(values, t.shape().clone()),
+            meta: Metadata::SharedExponents {
+                codes,
+                block_size: self.block_size,
+                exp_bits: self.exp_bits,
+            },
+        }
+    }
+
+    fn real_to_format(&self, value: f32, meta: &Metadata, index: usize) -> Bitstring {
+        let (codes, bs) = Self::codes_of(meta);
+        let code = codes[index / bs];
+        let step = self.step_for_code(code);
+        let sign = (value < 0.0) as u64;
+        let v = value as f64;
+        let mag = if v.is_nan() {
+            0
+        } else {
+            round_ties_even(v.abs() / step).min(self.mag_max() as f64) as u64
+        };
+        let m = self.man_bits as usize;
+        Bitstring::from_u64((sign << m) | mag, 1 + m)
+    }
+
+    fn format_to_real(&self, bits: &Bitstring, meta: &Metadata, index: usize) -> f32 {
+        let (codes, bs) = Self::codes_of(meta);
+        assert_eq!(bits.len(), 1 + self.man_bits as usize, "BFP data width mismatch");
+        let code = codes[index / bs];
+        let step = self.step_for_code(code);
+        let sign = if bits.bit(0) { -1.0 } else { 1.0 };
+        let mag = bits.field(1, self.man_bits as usize).to_u64() as f64;
+        (sign * mag * step) as f32
+    }
+
+    fn dynamic_range(&self) -> DynamicRange {
+        let emax = self.max_code() - self.bias();
+        let emin = -self.bias();
+        DynamicRange {
+            max_abs: self.mag_max() as f64 * exp2(emax - self.man_bits as i64 + 1),
+            min_abs: exp2(emin - self.man_bits as i64 + 1),
+        }
+    }
+
+    fn supports_metadata_injection(&self) -> bool {
+        true
+    }
+
+    fn apply_metadata(&self, values: &Tensor, old: &Metadata, new: &Metadata) -> Tensor {
+        let (old_codes, bs) = Self::codes_of(old);
+        let (new_codes, _) = Self::codes_of(new);
+        assert_eq!(old_codes.len(), new_codes.len(), "block count changed");
+        let mut out = values.clone();
+        for (b, (&oc, &nc)) in old_codes.iter().zip(new_codes).enumerate() {
+            if oc == nc {
+                continue;
+            }
+            let ratio = exp2(nc as i64 - oc as i64);
+            let start = b * bs;
+            let end = (start + bs).min(values.numel());
+            for v in &mut out.as_mut_slice()[start..end] {
+                *v = (*v as f64 * ratio) as f32;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_exponent_follows_max() {
+        let bfp = BlockFloatingPoint::new(5, 4, 4);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 4.0, 7.9], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        let Metadata::SharedExponents { codes, .. } = &q.meta else { panic!() };
+        // max 7.9 → exponent 2 → code 2 + 15 = 17.
+        assert_eq!(codes, &vec![17]);
+    }
+
+    #[test]
+    fn multiple_blocks_get_independent_exponents() {
+        let bfp = BlockFloatingPoint::new(5, 4, 2);
+        let x = Tensor::from_vec(vec![100.0, 50.0, 0.01, 0.005], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        let Metadata::SharedExponents { codes, .. } = &q.meta else { panic!() };
+        assert_eq!(codes.len(), 2);
+        assert!(codes[0] > codes[1]);
+        // Both blocks retain their large element at full relative precision.
+        assert!((q.values.as_slice()[0] - 100.0).abs() / 100.0 < 0.05);
+        assert!((q.values.as_slice()[2] - 0.01).abs() / 0.01 < 0.05);
+    }
+
+    #[test]
+    fn small_values_in_big_block_round_to_zero() {
+        // The paper's observation: a large shared block magnitude kills the
+        // resolution of low-magnitude members.
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![1000.0, 0.5, 0.5, 0.5], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        assert_eq!(q.values.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn quantize_idempotent() {
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![3.7, -0.21, 0.0, 8.25], [4]);
+        let q1 = bfp.real_to_format_tensor(&x);
+        let q2 = bfp.real_to_format_tensor(&q1.values);
+        assert_eq!(q1.values, q2.values);
+        assert_eq!(q1.meta, q2.meta);
+    }
+
+    #[test]
+    fn bitstring_roundtrip() {
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![3.7, -0.21, 0.0, 8.25], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        for i in 0..4 {
+            let v = q.values.as_slice()[i];
+            let bits = bfp.real_to_format(v, &q.meta, i);
+            assert_eq!(bits.len(), 6);
+            assert_eq!(bfp.format_to_real(&bits, &q.meta, i), v, "element {i}");
+        }
+    }
+
+    #[test]
+    fn shared_exponent_flip_scales_whole_block() {
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![4.0, 2.0, 1.0, -1.0, 0.5, 0.25, 0.125, -0.125], [8]);
+        let q = bfp.real_to_format_tensor(&x);
+        // Flip the LSB of block 0's exponent: every value in block 0
+        // scales by 2^±1; block 1 is untouched.
+        let bits = q.meta.word_bits(0).unwrap();
+        let corrupted = q.meta.with_word_bits(0, &bits.with_flip(bfp.exp_bits() as usize - 1));
+        let y = bfp.apply_metadata(&q.values, &q.meta, &corrupted);
+        let r = y.as_slice()[0] / q.values.as_slice()[0];
+        assert!(r == 2.0 || r == 0.5, "ratio {r}");
+        for i in 4..8 {
+            assert_eq!(y.as_slice()[i], q.values.as_slice()[i], "block 1 must be intact");
+        }
+    }
+
+    #[test]
+    fn data_bit_flip_bounded_by_block_range() {
+        // A data-value flip in BFP cannot produce Inf/NaN: the worst case
+        // is the max magnitude at the shared exponent. (This is why the
+        // paper finds BFP value injections benign relative to FP.)
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![4.0, 2.0, 1.0, -1.0], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        for i in 0..4 {
+            for bit in 0..6 {
+                let v = crate::format::flip_value_bit(&bfp, &q, i, bit);
+                assert!(v.is_finite());
+                assert!(v.abs() <= 8.0, "flip({i},{bit}) gave {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_quantizes_to_zero() {
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let q = bfp.real_to_format_tensor(&Tensor::zeros([4]));
+        assert_eq!(q.values.sum_all(), 0.0);
+        let Metadata::SharedExponents { codes, .. } = &q.meta else { panic!() };
+        assert_eq!(codes[0], 0);
+    }
+
+    #[test]
+    fn tail_block_smaller_than_block_size() {
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![1.0; 6], [6]);
+        let q = bfp.real_to_format_tensor(&x);
+        assert_eq!(q.meta.word_count(), 2);
+        assert_eq!(q.values.as_slice()[5], 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Logical bit vectors — the wire format of the paper's Methods 3 and 4.
+//!
+//! A [`Bitstring`] is the bit-level image of one value (or one metadata
+//! word) under a number format, MSB first: `[sign | exponent/integer |
+//! mantissa/fraction]`. Error injection flips bits of this vector and
+//! decodes the result back to a real value.
+
+use std::fmt;
+
+/// A fixed-width bit vector, most-significant bit first.
+///
+/// # Examples
+///
+/// ```
+/// use formats::Bitstring;
+/// let mut b = Bitstring::from_u64(0b101, 3);
+/// assert_eq!(b.to_string(), "0b101");
+/// b.flip(0); // flip the MSB
+/// assert_eq!(b.to_u64(), 0b001);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitstring {
+    bits: Vec<bool>,
+}
+
+impl Bitstring {
+    /// Creates a bitstring of `width` zero bits.
+    pub fn zeros(width: usize) -> Self {
+        Bitstring { bits: vec![false; width] }
+    }
+
+    /// Creates a bitstring from the low `width` bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        assert!(width <= 64, "bitstring width {} exceeds 64", width);
+        let bits = (0..width)
+            .map(|i| (value >> (width - 1 - i)) & 1 == 1)
+            .collect();
+        Bitstring { bits }
+    }
+
+    /// Creates a bitstring from explicit bits, MSB first.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Bitstring { bits }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the bitstring has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at position `i` (0 = MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets the bit at position `i` (0 = MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, v: bool) {
+        self.bits[i] = v;
+    }
+
+    /// Flips the bit at position `i` (0 = MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip(&mut self, i: usize) {
+        self.bits[i] = !self.bits[i];
+    }
+
+    /// Returns a copy with bit `i` flipped.
+    pub fn with_flip(&self, i: usize) -> Self {
+        let mut b = self.clone();
+        b.flip(i);
+        b
+    }
+
+    /// Interprets the bits as an unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.bits.len() <= 64);
+        self.bits.iter().fold(0u64, |acc, &b| (acc << 1) | b as u64)
+    }
+
+    /// Interprets the bits as a two's-complement signed integer.
+    pub fn to_i64(&self) -> i64 {
+        let w = self.bits.len();
+        let raw = self.to_u64();
+        if w == 0 || w == 64 {
+            return raw as i64;
+        }
+        if self.bits[0] {
+            (raw as i64) - (1i64 << w)
+        } else {
+            raw as i64
+        }
+    }
+
+    /// The bits as a boolean slice, MSB first.
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// A slice of this bitstring as a new bitstring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn field(&self, start: usize, len: usize) -> Bitstring {
+        Bitstring { bits: self.bits[start..start + len].to_vec() }
+    }
+}
+
+impl fmt::Display for Bitstring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0b")?;
+        for &b in &self.bits {
+            write!(f, "{}", b as u8)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Bitstring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitstring({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u64_msb_first() {
+        let b = Bitstring::from_u64(0b1010, 4);
+        assert!(b.bit(0));
+        assert!(!b.bit(1));
+        assert!(b.bit(2));
+        assert!(!b.bit(3));
+    }
+
+    #[test]
+    fn roundtrip_u64() {
+        for v in [0u64, 1, 5, 127, 128, 255] {
+            assert_eq!(Bitstring::from_u64(v, 8).to_u64(), v);
+        }
+    }
+
+    #[test]
+    fn twos_complement() {
+        assert_eq!(Bitstring::from_u64(0b1111, 4).to_i64(), -1);
+        assert_eq!(Bitstring::from_u64(0b1000, 4).to_i64(), -8);
+        assert_eq!(Bitstring::from_u64(0b0111, 4).to_i64(), 7);
+        assert_eq!(Bitstring::from_u64(0, 4).to_i64(), 0);
+    }
+
+    #[test]
+    fn flip_twice_restores() {
+        let b = Bitstring::from_u64(0b1100, 4);
+        for i in 0..4 {
+            assert_eq!(b.with_flip(i).with_flip(i), b);
+        }
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_bit() {
+        let b = Bitstring::from_u64(0b0110, 4);
+        let f = b.with_flip(2);
+        let diff: usize = (0..4).filter(|&i| b.bit(i) != f.bit(i)).count();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn field_extraction() {
+        // 0b1_0110_101: sign=1, "exp"=0110, "mantissa"=101
+        let b = Bitstring::from_u64(0b10110101, 8);
+        assert_eq!(b.field(1, 4).to_u64(), 0b0110);
+        assert_eq!(b.field(5, 3).to_u64(), 0b101);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Bitstring::from_u64(0b101, 3).to_string(), "0b101");
+        assert_eq!(Bitstring::zeros(2).to_string(), "0b00");
+    }
+
+    #[test]
+    fn f32_bits_roundtrip_through_bitstring() {
+        let x = -1.5f32;
+        let b = Bitstring::from_u64(x.to_bits() as u64, 32);
+        assert_eq!(f32::from_bits(b.to_u64() as u32), x);
+    }
+}

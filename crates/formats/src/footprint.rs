@@ -1,0 +1,118 @@
+//! Memory-footprint accounting: how many bits a tensor occupies under
+//! each format, split into data and metadata.
+//!
+//! This quantifies the paper's §II-A motivation for BFP — "a tensor
+//! \[can\] significantly reduce its memory footprint by only saving one
+//! exponent (e.g., 8 bits) for the entire tensor" — and gives accelerator
+//! designers the bits-per-value axis of the paper's §V-A trade-off
+//! (bit width as a proxy for area and bandwidth).
+
+use crate::format::NumberFormat;
+use crate::metadata::Metadata;
+use tensor::Tensor;
+
+/// Storage cost of one quantised tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Bits spent on element values.
+    pub data_bits: u64,
+    /// Bits spent on hardware metadata (scales / shared exponents / bias).
+    pub metadata_bits: u64,
+    /// Number of elements covered.
+    pub elements: u64,
+}
+
+impl Footprint {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits + self.metadata_bits
+    }
+
+    /// Effective bits per element, metadata amortised.
+    pub fn bits_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.total_bits() as f64 / self.elements as f64
+        }
+    }
+
+    /// Compression ratio versus IEEE-754 FP32 storage.
+    pub fn compression_vs_fp32(&self) -> f64 {
+        if self.total_bits() == 0 {
+            0.0
+        } else {
+            (self.elements * 32) as f64 / self.total_bits() as f64
+        }
+    }
+}
+
+/// Computes the storage footprint of `t` under `format`.
+pub fn footprint(format: &dyn NumberFormat, t: &Tensor) -> Footprint {
+    let q = format.real_to_format_tensor(t);
+    let elements = t.numel() as u64;
+    let data_bits = elements * format.bit_width() as u64;
+    let metadata_bits = metadata_bits(&q.meta);
+    Footprint { data_bits, metadata_bits, elements }
+}
+
+/// Total bits held in metadata registers.
+pub fn metadata_bits(meta: &Metadata) -> u64 {
+    meta.word_count() as u64 * meta.word_width() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptivFloat, BlockFloatingPoint, FloatingPoint, IntQuant};
+
+    fn sample(n: usize) -> Tensor {
+        Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), [n])
+    }
+
+    #[test]
+    fn fp16_is_exactly_16_bits_per_element() {
+        let f = footprint(&FloatingPoint::fp16(), &sample(1000));
+        assert_eq!(f.data_bits, 16_000);
+        assert_eq!(f.metadata_bits, 0);
+        assert_eq!(f.bits_per_element(), 16.0);
+        assert_eq!(f.compression_vs_fp32(), 2.0);
+    }
+
+    #[test]
+    fn int8_pays_one_scale_register() {
+        let f = footprint(&IntQuant::new(8), &sample(1000));
+        assert_eq!(f.data_bits, 8_000);
+        assert_eq!(f.metadata_bits, 32);
+        assert!((f.bits_per_element() - 8.032).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bfp_amortises_the_shared_exponent() {
+        // The paper's §II-A point: e8m7 BFP with per-tensor sharing stores
+        // 8 bits of exponent once, vs bfloat16 storing it per value.
+        let bf16 = footprint(&FloatingPoint::bfloat16(), &sample(4096));
+        let bfp = footprint(&BlockFloatingPoint::per_tensor(8, 7), &sample(4096));
+        assert_eq!(bf16.bits_per_element(), 16.0);
+        assert!(bfp.bits_per_element() < 8.01, "{}", bfp.bits_per_element());
+        assert!(bfp.compression_vs_fp32() > 3.9);
+        // Smaller blocks pay more metadata.
+        let blocked = footprint(&BlockFloatingPoint::new(8, 7, 16), &sample(4096));
+        assert!(blocked.metadata_bits > bfp.metadata_bits);
+        assert_eq!(blocked.metadata_bits, (4096 / 16) * 8);
+    }
+
+    #[test]
+    fn afp_metadata_is_one_bias_register() {
+        let f = footprint(&AdaptivFloat::new(4, 3), &sample(256));
+        assert_eq!(f.data_bits, 256 * 8);
+        assert_eq!(f.metadata_bits, 4);
+    }
+
+    #[test]
+    fn empty_tensor_is_free() {
+        let f = Footprint { data_bits: 0, metadata_bits: 0, elements: 0 };
+        assert_eq!(f.bits_per_element(), 0.0);
+        assert_eq!(f.compression_vs_fp32(), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # formats — GoldenEye's configurable number systems
+//!
+//! The paper's primary contribution: a unified, extensible API for emulating
+//! numerical data formats on top of an FP32 compute fabric, with the
+//! hardware implementation's *metadata* (scale factors, shared exponents,
+//! exponent biases) elevated into software so that resiliency analysis can
+//! target it.
+//!
+//! Every format implements [`NumberFormat`] — the Rust rendering of the
+//! paper's four pure-virtual methods (§III-B):
+//!
+//! | Paper method | Here |
+//! |---|---|
+//! | `real_to_format_tensor(tensor)` | [`NumberFormat::real_to_format_tensor`] |
+//! | `format_to_real_tensor(tensor)` | [`NumberFormat::format_to_real_tensor`] |
+//! | `real_to_format(value)` | [`NumberFormat::real_to_format`] |
+//! | `format_to_real(bitstring)` | [`NumberFormat::format_to_real`] |
+//!
+//! Five families are provided ([`FloatingPoint`], [`FixedPoint`],
+//! [`IntQuant`], [`BlockFloatingPoint`], [`AdaptivFloat`]); new ones plug in
+//! by implementing the trait.
+//!
+//! # Examples
+//!
+//! ```
+//! use formats::{FormatSpec, NumberFormat};
+//! use tensor::Tensor;
+//!
+//! let bfp: FormatSpec = "bfp:e5m5:b16".parse()?;
+//! let format = bfp.build();
+//! let x = Tensor::from_vec(vec![1.0, 0.5, -0.25, 100.0], [4]);
+//! let q = format.real_to_format_tensor(&x);
+//! assert_eq!(q.meta.word_count(), 1); // one shared exponent
+//! # Ok::<(), formats::ParseFormatError>(())
+//! ```
+
+mod afp;
+mod bfp;
+mod bitstring;
+mod format;
+pub mod footprint;
+mod fp;
+mod fxp;
+mod int;
+mod metadata;
+mod posit;
+pub mod ranges;
+mod spec;
+
+pub use afp::AdaptivFloat;
+pub use bfp::BlockFloatingPoint;
+pub use bitstring::Bitstring;
+pub use format::{flip_value_bit, DynamicRange, NumberFormat, Quantized};
+pub use fp::FloatingPoint;
+pub use fxp::FixedPoint;
+pub use int::IntQuant;
+pub use metadata::Metadata;
+pub use posit::Posit;
+pub use spec::{FormatSpec, ParseFormatError};

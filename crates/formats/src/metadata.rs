@@ -1,0 +1,170 @@
+//! Hardware metadata attached to a quantised tensor.
+//!
+//! The paper's key observation is that emerging formats carry state that
+//! lives in dedicated hardware registers rather than in the data values
+//! themselves: INT's scale factor, BFP's shared exponents, AFP's exponent
+//! bias. GoldenEye elevates this metadata into software so it can be a
+//! first-class error-injection target.
+
+use crate::bitstring::Bitstring;
+
+/// Hardware metadata produced by `real_to_format_tensor`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metadata {
+    /// The format has no tensor-level hardware state (FP, FxP).
+    None,
+    /// INT quantisation: the per-tensor scale factor, held in an FP32
+    /// register in hardware (32 injectable bits).
+    Scale(f32),
+    /// BFP: one shared-exponent code per block. Each code is `exp_bits`
+    /// wide and biased by `2^(exp_bits-1) - 1`.
+    SharedExponents {
+        /// Biased exponent code of each block, in block order.
+        codes: Vec<u32>,
+        /// Number of tensor elements covered by each shared exponent.
+        block_size: usize,
+        /// Width of each exponent register in bits.
+        exp_bits: u32,
+    },
+    /// AdaptivFloat: the per-tensor signed exponent bias, held in a small
+    /// two's-complement register of `bias_bits` bits.
+    ExpBias {
+        /// The signed exponent bias selected for the tensor.
+        bias: i32,
+        /// Width of the bias register in bits.
+        bias_bits: u32,
+    },
+}
+
+impl Metadata {
+    /// Number of independently injectable metadata words.
+    ///
+    /// INT and AFP have one register; BFP has one per block; FP/FxP none.
+    pub fn word_count(&self) -> usize {
+        match self {
+            Metadata::None => 0,
+            Metadata::Scale(_) => 1,
+            Metadata::SharedExponents { codes, .. } => codes.len(),
+            Metadata::ExpBias { .. } => 1,
+        }
+    }
+
+    /// Width in bits of each metadata word.
+    pub fn word_width(&self) -> usize {
+        match self {
+            Metadata::None => 0,
+            Metadata::Scale(_) => 32,
+            Metadata::SharedExponents { exp_bits, .. } => *exp_bits as usize,
+            Metadata::ExpBias { bias_bits, .. } => *bias_bits as usize,
+        }
+    }
+
+    /// The bit image of metadata word `word`, or `None` if out of range.
+    pub fn word_bits(&self, word: usize) -> Option<Bitstring> {
+        match self {
+            Metadata::None => None,
+            Metadata::Scale(s) => {
+                (word == 0).then(|| Bitstring::from_u64(s.to_bits() as u64, 32))
+            }
+            Metadata::SharedExponents { codes, exp_bits, .. } => codes
+                .get(word)
+                .map(|&c| Bitstring::from_u64(c as u64, *exp_bits as usize)),
+            Metadata::ExpBias { bias, bias_bits } => (word == 0).then(|| {
+                let mask = if *bias_bits >= 64 { u64::MAX } else { (1u64 << bias_bits) - 1 };
+                Bitstring::from_u64((*bias as i64 as u64) & mask, *bias_bits as usize)
+            }),
+        }
+    }
+
+    /// Returns a copy with metadata word `word` replaced by `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range, `bits` has the wrong width, or the
+    /// metadata kind has no words.
+    pub fn with_word_bits(&self, word: usize, bits: &Bitstring) -> Metadata {
+        assert_eq!(bits.len(), self.word_width(), "metadata word width mismatch");
+        match self {
+            Metadata::None => panic!("format has no metadata to replace"),
+            Metadata::Scale(_) => {
+                assert_eq!(word, 0, "scale metadata has a single word");
+                Metadata::Scale(f32::from_bits(bits.to_u64() as u32))
+            }
+            Metadata::SharedExponents { codes, block_size, exp_bits } => {
+                assert!(word < codes.len(), "shared-exponent word {} out of range", word);
+                let mut codes = codes.clone();
+                codes[word] = bits.to_u64() as u32;
+                Metadata::SharedExponents {
+                    codes,
+                    block_size: *block_size,
+                    exp_bits: *exp_bits,
+                }
+            }
+            Metadata::ExpBias { bias_bits, .. } => {
+                assert_eq!(word, 0, "exponent-bias metadata has a single word");
+                Metadata::ExpBias { bias: bits.to_i64() as i32, bias_bits: *bias_bits }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_has_no_words() {
+        assert_eq!(Metadata::None.word_count(), 0);
+        assert!(Metadata::None.word_bits(0).is_none());
+    }
+
+    #[test]
+    fn scale_roundtrip() {
+        let m = Metadata::Scale(0.125);
+        let bits = m.word_bits(0).unwrap();
+        assert_eq!(bits.len(), 32);
+        assert_eq!(m.with_word_bits(0, &bits), m);
+    }
+
+    #[test]
+    fn scale_bit_flip_changes_scale() {
+        let m = Metadata::Scale(1.0);
+        let bits = m.word_bits(0).unwrap().with_flip(1); // MSB of exponent
+        if let Metadata::Scale(s) = m.with_word_bits(0, &bits) {
+            assert!(s != 1.0);
+            assert!(s.is_finite() || s.is_infinite());
+        } else {
+            panic!("kind changed");
+        }
+    }
+
+    #[test]
+    fn shared_exponent_words() {
+        let m = Metadata::SharedExponents { codes: vec![10, 20, 30], block_size: 16, exp_bits: 5 };
+        assert_eq!(m.word_count(), 3);
+        assert_eq!(m.word_width(), 5);
+        assert_eq!(m.word_bits(1).unwrap().to_u64(), 20);
+        let new = m.with_word_bits(1, &Bitstring::from_u64(21, 5));
+        if let Metadata::SharedExponents { codes, .. } = new {
+            assert_eq!(codes, vec![10, 21, 30]);
+        } else {
+            panic!("kind changed");
+        }
+    }
+
+    #[test]
+    fn exp_bias_twos_complement_roundtrip() {
+        for bias in [-7i32, -1, 0, 3] {
+            let m = Metadata::ExpBias { bias, bias_bits: 8 };
+            let bits = m.word_bits(0).unwrap();
+            assert_eq!(m.with_word_bits(0, &bits), m, "bias {bias}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let m = Metadata::Scale(1.0);
+        m.with_word_bits(0, &Bitstring::zeros(8));
+    }
+}

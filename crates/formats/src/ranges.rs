@@ -1,0 +1,147 @@
+//! Dynamic-range table generation — reproduces Table I of the paper.
+
+use crate::afp::AdaptivFloat;
+use crate::bfp::BlockFloatingPoint;
+use crate::format::{DynamicRange, NumberFormat};
+use crate::fp::FloatingPoint;
+use crate::fxp::FixedPoint;
+use crate::int::IntQuant;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeRow {
+    /// Human-readable data-type label, as printed in the paper.
+    pub label: String,
+    /// The computed dynamic range.
+    pub range: DynamicRange,
+}
+
+impl RangeRow {
+    fn new(label: &str, format: &dyn NumberFormat) -> Self {
+        RangeRow { label: label.to_string(), range: format.dynamic_range() }
+    }
+}
+
+/// Builds the rows of the paper's Table I ("Dynamic Range of Data Types"),
+/// in the paper's order.
+pub fn table1_rows() -> Vec<RangeRow> {
+    vec![
+        RangeRow::new("FP32 w/ DN", &FloatingPoint::fp32()),
+        RangeRow::new("FP32 w/o DN", &FloatingPoint::fp32().with_denormals(false)),
+        RangeRow::new("FxP (1,15,16)", &FixedPoint::new(15, 16)),
+        RangeRow::new("FP16 w/ DN", &FloatingPoint::fp16()),
+        RangeRow::new("FP16 w/o DN", &FloatingPoint::fp16().with_denormals(false)),
+        RangeRow::new("BFloat16 w/ DN", &FloatingPoint::bfloat16()),
+        RangeRow::new("BFloat16 w/o DN", &FloatingPoint::bfloat16().with_denormals(false)),
+        RangeRow::new("INT16 (symmetric)", &IntQuant::new(16)),
+        RangeRow::new("INT8 (symmetric)", &IntQuant::new(8)),
+        RangeRow::new("FP8 (e4m3) w/ DN", &FloatingPoint::fp8_e4m3()),
+        RangeRow::new("FP8 (e4m3) w/o DN", &FloatingPoint::fp8_e4m3().with_denormals(false)),
+        RangeRow::new("AFP8 (e4m3) w/o DN", &AdaptivFloat::new(4, 3)),
+    ]
+}
+
+/// Renders Table I as an aligned text table.
+pub fn table1_text() -> String {
+    let mut out = String::from(
+        "Data Type            | Abs Max Value | Abs Min Value | Range in dB\n\
+         ---------------------+---------------+---------------+------------\n",
+    );
+    for row in table1_rows() {
+        out.push_str(&format!(
+            "{:<21}| {:>13.3e} | {:>13.3e} | {:>10.2}\n",
+            row.label,
+            row.range.max_abs,
+            row.range.min_abs,
+            row.range.db()
+        ));
+    }
+    out
+}
+
+/// Dynamic range of a BFP configuration (not in Table I, but useful for
+/// the paper's §IV-C formats).
+pub fn bfp_range(exp_bits: u32, man_bits: u32, block: usize) -> DynamicRange {
+    BlockFloatingPoint::new(exp_bits, man_bits, block).dynamic_range()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts our computed Table I matches the paper's printed values.
+    /// (Two paper cells are typos — see EXPERIMENTS.md — so we assert the
+    /// self-consistent values: INT16 dB from 20·log10(32767/1), and the
+    /// FxP max of 2^15.)
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1_rows();
+        let by_label = |l: &str| {
+            rows.iter()
+                .find(|r| r.label == l)
+                .unwrap_or_else(|| panic!("missing row {l}"))
+                .range
+        };
+        let close = |got: f64, want: f64, rel: f64| (got - want).abs() <= want.abs() * rel;
+
+        let fp32dn = by_label("FP32 w/ DN");
+        assert!(close(fp32dn.max_abs, 3.40e38, 0.01));
+        assert!(close(fp32dn.min_abs, 1.40e-45, 0.01));
+        assert!(close(fp32dn.db(), 1667.71, 0.001));
+
+        let fp32 = by_label("FP32 w/o DN");
+        assert!(close(fp32.min_abs, 1.18e-38, 0.01));
+        assert!(close(fp32.db(), 1529.23, 0.001));
+
+        let fxp = by_label("FxP (1,15,16)");
+        assert!(close(fxp.max_abs, 32768.0, 1e-9));
+        assert!(close(fxp.min_abs, 1.53e-5, 0.01));
+        assert!(close(fxp.db(), 186.64, 0.001));
+
+        let fp16 = by_label("FP16 w/ DN");
+        assert!(close(fp16.max_abs, 65504.0, 1e-9));
+        assert!(close(fp16.min_abs, 5.90e-8, 0.02));
+        assert!(close(fp16.db(), 240.82, 0.001));
+
+        let fp16n = by_label("FP16 w/o DN");
+        assert!(close(fp16n.min_abs, 6.10e-5, 0.01));
+        assert!(close(fp16n.db(), 180.61, 0.001));
+
+        let bf = by_label("BFloat16 w/ DN");
+        assert!(close(bf.max_abs, 3.39e38, 0.01));
+        assert!(close(bf.min_abs, 9.18e-41, 0.01));
+        assert!(close(bf.db(), 1571.54, 0.001));
+
+        let bfn = by_label("BFloat16 w/o DN");
+        assert!(close(bfn.min_abs, 1.18e-38, 0.01));
+        assert!(close(bfn.db(), 1529.20, 0.001));
+
+        let int16 = by_label("INT16 (symmetric)");
+        assert!(close(int16.max_abs, 32767.0, 1e-9));
+        // Paper prints 98.31 dB; 20·log10(32767) = 90.31 — see EXPERIMENTS.md.
+        assert!(close(int16.db(), 90.31, 0.001));
+
+        let int8 = by_label("INT8 (symmetric)");
+        assert!(close(int8.max_abs, 127.0, 1e-9));
+        assert!(close(int8.db(), 42.08, 0.001));
+
+        let fp8 = by_label("FP8 (e4m3) w/ DN");
+        assert!(close(fp8.max_abs, 240.0, 1e-9));
+        assert!(close(fp8.min_abs, 1.95e-3, 0.01));
+        assert!(close(fp8.db(), 101.79, 0.001));
+
+        let fp8n = by_label("FP8 (e4m3) w/o DN");
+        assert!(close(fp8n.min_abs, 1.56e-2, 0.01));
+        assert!(close(fp8n.db(), 83.73, 0.001));
+
+        let afp8 = by_label("AFP8 (e4m3) w/o DN");
+        assert!(close(afp8.db(), 83.73, 0.001));
+    }
+
+    #[test]
+    fn table1_text_has_all_rows() {
+        let text = table1_text();
+        assert_eq!(text.lines().count(), 2 + 12);
+        assert!(text.contains("AFP8"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Textual format specifications — the CLI-facing "hyperparameter knobs"
+//! of the paper's §IV-B, e.g. `fp:e4m3`, `bfp:e5m5:b16`, `int:8`.
+
+use crate::afp::AdaptivFloat;
+use crate::bfp::BlockFloatingPoint;
+use crate::format::NumberFormat;
+use crate::fp::FloatingPoint;
+use crate::fxp::FixedPoint;
+use crate::int::IntQuant;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error returned when a format specification fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError {
+    spec: String,
+    reason: String,
+}
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid format spec `{}`: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+/// A parsed number-format specification, convertible into a boxed
+/// [`NumberFormat`].
+///
+/// Grammar (case-insensitive):
+///
+/// - `fp:eXmY[:nodn]` — floating point, optional denormal disable
+/// - `fxp:1:I:F` — fixed point with I integer / F fraction bits
+/// - `int:B` — B-bit symmetric integer quantisation
+/// - `bfp:eXmY:bN` — block floating point with block size N;
+///   `bfp:eXmY:tensor` shares one exponent across the whole tensor
+/// - `afp:eXmY` — AdaptivFloat
+/// - `posit:N:ES` — posit⟨N, ES⟩
+/// - named shorthands: `fp32`, `fp16`, `bfloat16`, `tf32`, `dlfloat16`,
+///   `fp8` (= `fp:e4m3`), `int8`, `int16`, `posit8`, `posit16`
+///
+/// # Examples
+///
+/// ```
+/// use formats::FormatSpec;
+/// let spec: FormatSpec = "bfp:e5m5:b16".parse()?;
+/// assert_eq!(spec.build().name(), "bfp_e5m5_b16");
+/// # Ok::<(), formats::ParseFormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatSpec {
+    /// `fp:eXmY[:nodn]`
+    Fp {
+        /// Exponent bits.
+        exp: u32,
+        /// Mantissa bits.
+        man: u32,
+        /// Whether denormals are representable.
+        denormals: bool,
+    },
+    /// `fxp:1:I:F`
+    Fxp {
+        /// Integer bits.
+        int: u32,
+        /// Fraction bits (the radix).
+        frac: u32,
+    },
+    /// `int:B`
+    Int {
+        /// Total bits, sign included.
+        bits: u32,
+    },
+    /// `bfp:eXmY:bN` or `bfp:eXmY:tensor` (`block = usize::MAX`)
+    Bfp {
+        /// Shared-exponent bits.
+        exp: u32,
+        /// Per-element mantissa bits.
+        man: u32,
+        /// Elements per shared exponent (`usize::MAX` = whole tensor).
+        block: usize,
+    },
+    /// `afp:eXmY`
+    Afp {
+        /// Exponent bits.
+        exp: u32,
+        /// Mantissa bits.
+        man: u32,
+    },
+    /// `posit:N:ES`
+    Posit {
+        /// Total bits.
+        n: u32,
+        /// Exponent-field bits.
+        es: u32,
+    },
+}
+
+impl FormatSpec {
+    /// Instantiates the parsed specification.
+    pub fn build(&self) -> Box<dyn NumberFormat> {
+        match *self {
+            FormatSpec::Fp { exp, man, denormals } => {
+                Box::new(FloatingPoint::new(exp, man).with_denormals(denormals))
+            }
+            FormatSpec::Fxp { int, frac } => Box::new(FixedPoint::new(int, frac)),
+            FormatSpec::Int { bits } => Box::new(IntQuant::new(bits)),
+            FormatSpec::Bfp { exp, man, block } => {
+                Box::new(BlockFloatingPoint::new(exp, man, block))
+            }
+            FormatSpec::Afp { exp, man } => Box::new(AdaptivFloat::new(exp, man)),
+            FormatSpec::Posit { n, es } => Box::new(crate::posit::Posit::new(n, es)),
+        }
+    }
+}
+
+fn parse_em(tok: &str) -> Option<(u32, u32)> {
+    // "e4m3" → (4, 3)
+    let rest = tok.strip_prefix('e')?;
+    let mpos = rest.find('m')?;
+    let e = rest[..mpos].parse().ok()?;
+    let m = rest[mpos + 1..].parse().ok()?;
+    Some((e, m))
+}
+
+impl FromStr for FormatSpec {
+    type Err = ParseFormatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &str| ParseFormatError { spec: s.to_string(), reason: reason.to_string() };
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "fp32" => return Ok(FormatSpec::Fp { exp: 8, man: 23, denormals: true }),
+            "fp16" | "half" => return Ok(FormatSpec::Fp { exp: 5, man: 10, denormals: true }),
+            "bfloat16" | "bf16" => return Ok(FormatSpec::Fp { exp: 8, man: 7, denormals: true }),
+            "tf32" | "tensorfloat32" => {
+                return Ok(FormatSpec::Fp { exp: 8, man: 10, denormals: true })
+            }
+            "dlfloat16" => return Ok(FormatSpec::Fp { exp: 6, man: 9, denormals: true }),
+            "fp8" => return Ok(FormatSpec::Fp { exp: 4, man: 3, denormals: true }),
+            "int8" => return Ok(FormatSpec::Int { bits: 8 }),
+            "int16" => return Ok(FormatSpec::Int { bits: 16 }),
+            "posit8" => return Ok(FormatSpec::Posit { n: 8, es: 0 }),
+            "posit16" => return Ok(FormatSpec::Posit { n: 16, es: 1 }),
+            _ => {}
+        }
+        let parts: Vec<&str> = lower.split(':').collect();
+        match parts.as_slice() {
+            ["fp", em] => {
+                let (exp, man) = parse_em(em).ok_or_else(|| err("expected eXmY"))?;
+                Ok(FormatSpec::Fp { exp, man, denormals: true })
+            }
+            ["fp", em, "nodn"] => {
+                let (exp, man) = parse_em(em).ok_or_else(|| err("expected eXmY"))?;
+                Ok(FormatSpec::Fp { exp, man, denormals: false })
+            }
+            ["fxp", "1", i, f] => {
+                let int = i.parse().map_err(|_| err("bad integer-bit count"))?;
+                let frac = f.parse().map_err(|_| err("bad fraction-bit count"))?;
+                Ok(FormatSpec::Fxp { int, frac })
+            }
+            ["int", b] => {
+                let bits = b.parse().map_err(|_| err("bad bit count"))?;
+                Ok(FormatSpec::Int { bits })
+            }
+            ["bfp", em, blk] => {
+                let (exp, man) = parse_em(em).ok_or_else(|| err("expected eXmY"))?;
+                let block = if *blk == "tensor" {
+                    usize::MAX
+                } else {
+                    blk.strip_prefix('b')
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| err("expected bN or `tensor` block size"))?
+                };
+                Ok(FormatSpec::Bfp { exp, man, block })
+            }
+            ["afp", em] => {
+                let (exp, man) = parse_em(em).ok_or_else(|| err("expected eXmY"))?;
+                Ok(FormatSpec::Afp { exp, man })
+            }
+            ["posit", n, es] => {
+                let n = n.parse().map_err(|_| err("bad posit width"))?;
+                let es = es.parse().map_err(|_| err("bad posit es"))?;
+                Ok(FormatSpec::Posit { n, es })
+            }
+            _ => Err(err("unknown format family")),
+        }
+    }
+}
+
+impl fmt::Display for FormatSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatSpec::Fp { exp, man, denormals: true } => write!(f, "fp:e{exp}m{man}"),
+            FormatSpec::Fp { exp, man, denormals: false } => write!(f, "fp:e{exp}m{man}:nodn"),
+            FormatSpec::Fxp { int, frac } => write!(f, "fxp:1:{int}:{frac}"),
+            FormatSpec::Int { bits } => write!(f, "int:{bits}"),
+            FormatSpec::Bfp { exp, man, block: usize::MAX } => write!(f, "bfp:e{exp}m{man}:tensor"),
+            FormatSpec::Bfp { exp, man, block } => write!(f, "bfp:e{exp}m{man}:b{block}"),
+            FormatSpec::Afp { exp, man } => write!(f, "afp:e{exp}m{man}"),
+            FormatSpec::Posit { n, es } => write!(f, "posit:{n}:{es}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_families() {
+        assert_eq!(
+            "fp:e4m3".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Fp { exp: 4, man: 3, denormals: true }
+        );
+        assert_eq!(
+            "fp:e5m10:nodn".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Fp { exp: 5, man: 10, denormals: false }
+        );
+        assert_eq!(
+            "fxp:1:15:16".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Fxp { int: 15, frac: 16 }
+        );
+        assert_eq!("int:8".parse::<FormatSpec>().unwrap(), FormatSpec::Int { bits: 8 });
+        assert_eq!(
+            "bfp:e5m5:b16".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Bfp { exp: 5, man: 5, block: 16 }
+        );
+        assert_eq!(
+            "afp:e4m3".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Afp { exp: 4, man: 3 }
+        );
+        assert_eq!(
+            "posit:8:1".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Posit { n: 8, es: 1 }
+        );
+        assert_eq!(
+            "bfp:e5m5:tensor".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Bfp { exp: 5, man: 5, block: usize::MAX }
+        );
+    }
+
+    #[test]
+    fn parse_shorthands() {
+        assert_eq!(
+            "bfloat16".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Fp { exp: 8, man: 7, denormals: true }
+        );
+        assert_eq!("int8".parse::<FormatSpec>().unwrap(), FormatSpec::Int { bits: 8 });
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "fp:e4m3",
+            "fp:e5m2:nodn",
+            "fxp:1:7:8",
+            "int:8",
+            "bfp:e8m7:b32",
+            "bfp:e5m5:tensor",
+            "afp:e3m4",
+            "posit:16:1",
+        ] {
+            let spec: FormatSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(spec.to_string().parse::<FormatSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn build_produces_right_names() {
+        let spec: FormatSpec = "bfp:e5m5:b16".parse().unwrap();
+        assert_eq!(spec.build().name(), "bfp_e5m5_b16");
+        let spec: FormatSpec = "fp32".parse().unwrap();
+        assert_eq!(spec.build().name(), "fp_e8m23");
+    }
+
+    #[test]
+    fn bad_specs_error() {
+        for s in ["", "fp", "fp:em", "fxp:2:3:4", "bfp:e5m5", "wat:1", "int:x"] {
+            assert!(s.parse::<FormatSpec>().is_err(), "`{s}` should not parse");
+        }
+    }
+}

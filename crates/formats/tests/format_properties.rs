@@ -1,0 +1,153 @@
+//! Property-based tests sweeping *random format configurations*, not just
+//! random inputs: every (e, m) split, fixed-point geometry, INT width,
+//! BFP block size, and posit size must uphold the API contract.
+
+use formats::{
+    AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, IntQuant, Metadata, NumberFormat,
+    Posit,
+};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any FP(e,m) saturates exactly at its advertised dynamic-range max.
+    #[test]
+    fn fp_saturates_at_advertised_max(e in 2u32..=8, m in 1u32..=23) {
+        let fp = FloatingPoint::new(e, m);
+        let max = fp.dynamic_range().max_abs as f32;
+        prop_assert_eq!(fp.quantize_scalar(max * 4.0), max);
+        prop_assert_eq!(fp.quantize_scalar(f32::MAX), max);
+        prop_assert_eq!(fp.quantize_scalar(-f32::MAX), -max);
+        // The max itself is representable (a fixed point of quantisation).
+        prop_assert_eq!(fp.quantize_scalar(max), max);
+    }
+
+    /// FP quantisation error of an in-range value is bounded by half an
+    /// ulp of its binade: |q(x) − x| ≤ 2^(e(x) − m − 1).
+    #[test]
+    fn fp_error_bounded_by_half_ulp(e in 2u32..=8, m in 1u32..=23, v in 0.01f32..100.0) {
+        let fp = FloatingPoint::new(e, m);
+        let max = fp.dynamic_range().max_abs as f32;
+        prop_assume!(v < max);
+        let min_normal = (2.0f64).powi(2 - (1 << (e - 1)) as i32) as f32;
+        prop_assume!(v >= min_normal);
+        let q = fp.quantize_scalar(v);
+        let ulp = (2.0f32).powi(v.log2().floor() as i32 - m as i32);
+        prop_assert!((q - v).abs() <= ulp * 0.5 + f32::EPSILON, "e{e}m{m}: q({v}) = {q}");
+    }
+
+    /// Fixed-point error is bounded by half a step for in-range values.
+    #[test]
+    fn fxp_error_bounded_by_half_step(i in 1u32..=15, f in 1u32..=16, v in -100.0f32..100.0) {
+        let fxp = FixedPoint::new(i, f);
+        prop_assume!(v.abs() < fxp.dynamic_range().max_abs as f32 - 1.0);
+        let q = fxp.quantize_scalar(v);
+        let step = (2.0f32).powi(-(f as i32));
+        prop_assert!((q - v).abs() <= step * 0.5 + f32::EPSILON);
+    }
+
+    /// INT round-trip error is bounded by half a scale step; codes stay
+    /// within ±qmax.
+    #[test]
+    fn int_error_bounded(bits in 2u32..=16, values in prop::collection::vec(-50.0f32..50.0, 2..12)) {
+        let int = IntQuant::new(bits);
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        let q = int.real_to_format_tensor(&x);
+        let Metadata::Scale(scale) = q.meta else { panic!("INT must emit scale") };
+        for (&orig, &quant) in values.iter().zip(q.values.as_slice()) {
+            prop_assert!((quant - orig).abs() <= scale * 0.5 + 1e-6,
+                "int{bits}: {orig} -> {quant} (scale {scale})");
+        }
+    }
+
+    /// BFP never increases a block's max magnitude, and never produces a
+    /// value outside ±(block max rounded up to the format grid).
+    #[test]
+    fn bfp_respects_block_bounds(
+        e in 2u32..=8,
+        m in 1u32..=10,
+        block in 1usize..=16,
+        values in prop::collection::vec(-1000.0f32..1000.0, 4..32),
+    ) {
+        let bfp = BlockFloatingPoint::new(e, m, block);
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        let q = bfp.real_to_format_tensor(&x);
+        for (chunk_in, chunk_out) in values.chunks(block).zip(q.values.as_slice().chunks(block)) {
+            let in_max = chunk_in.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let out_max = chunk_out.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            // Rounding can push the max up by at most one step ≈ in_max/2^(m-1).
+            prop_assert!(out_max <= in_max * (1.0 + (2.0f32).powi(1 - (m as i32))) + 1e-6,
+                "e{e}m{m}b{block}: block max grew {in_max} -> {out_max}");
+        }
+    }
+
+    /// AFP with a wide-enough bias register always captures the tensor's
+    /// largest magnitude with bounded relative error.
+    #[test]
+    fn afp_top_value_relative_error(e in 2u32..=8, m in 2u32..=10, top in 0.001f32..1000.0) {
+        let afp = AdaptivFloat::new(e, m).with_bias_bits(12);
+        let x = Tensor::from_vec(vec![top, -top / 2.0], [2]);
+        let q = afp.real_to_format_tensor(&x);
+        let rel = (q.values.as_slice()[0] - top).abs() / top;
+        prop_assert!(rel <= (2.0f32).powi(-(m as i32)),
+            "afp e{e}m{m}: top {top} err {rel}");
+    }
+
+    /// Posit quantisation is monotone and saturating for every (n, es).
+    #[test]
+    fn posit_monotone_and_saturating(n in 3u32..=12, es in 0u32..=2, a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let p = Posit::new(n, es);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.quantize_scalar(lo) <= p.quantize_scalar(hi));
+        let maxpos = p.maxpos() as f32;
+        prop_assert_eq!(p.quantize_scalar(1e30), maxpos);
+    }
+
+    /// Bitstring width always matches `bit_width`, for every family and
+    /// every value.
+    #[test]
+    fn bit_images_have_declared_width(v in -1000.0f32..1000.0) {
+        let formats: Vec<Box<dyn NumberFormat>> = vec![
+            Box::new(FloatingPoint::new(3, 6)),
+            Box::new(FixedPoint::new(5, 7)),
+            Box::new(IntQuant::new(11)),
+            Box::new(BlockFloatingPoint::new(4, 6, 3)),
+            Box::new(AdaptivFloat::new(5, 4)),
+            Box::new(Posit::new(9, 1)),
+        ];
+        for f in formats {
+            let x = Tensor::from_vec(vec![v, 1.0], [2]);
+            let q = f.real_to_format_tensor(&x);
+            let bits = f.real_to_format(q.values.as_slice()[0], &q.meta, 0);
+            prop_assert_eq!(bits.len() as u32, f.bit_width(), "{}", f.name());
+        }
+    }
+
+    /// The tensor path (Method 1) and the scalar path (Method 3 → Method 4)
+    /// agree for every family: decoding an element's bit image returns the
+    /// quantised value.
+    #[test]
+    fn tensor_and_scalar_paths_agree(values in prop::collection::vec(-100.0f32..100.0, 3..10)) {
+        let formats: Vec<Box<dyn NumberFormat>> = vec![
+            Box::new(FloatingPoint::new(4, 5)),
+            Box::new(FixedPoint::new(4, 6)),
+            Box::new(IntQuant::new(9)),
+            Box::new(BlockFloatingPoint::new(5, 4, 4)),
+            Box::new(AdaptivFloat::new(4, 4)),
+            Box::new(Posit::new(10, 1)),
+        ];
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        for f in formats {
+            let q = f.real_to_format_tensor(&x);
+            for i in 0..values.len() {
+                let v = q.values.as_slice()[i];
+                let roundtrip = f.format_to_real(&f.real_to_format(v, &q.meta, i), &q.meta, i);
+                let tol = v.abs() * 1e-5 + 1e-7;
+                prop_assert!((roundtrip - v).abs() <= tol,
+                    "{}: element {i} {v} -> {roundtrip}", f.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Random fault sampling for injection campaigns: where to flip, seeded and
+//! reproducible (the role PyTorchFI plays for the paper's tool).
+
+use crate::flip::{flip_metadata, flip_value, MetadataFlip, ValueFlip};
+use crate::site::SiteKind;
+use formats::{NumberFormat, Quantized};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampled fault location, before execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Value or metadata flip.
+    pub kind: SiteKind,
+    /// Element index (value flips) or word index (metadata flips).
+    pub index: usize,
+    /// Bit position, 0 = MSB.
+    pub bit: usize,
+}
+
+/// Seeded sampler of fault locations.
+///
+/// # Examples
+///
+/// ```
+/// use inject::Injector;
+/// use formats::{FloatingPoint, NumberFormat};
+/// use tensor::Tensor;
+///
+/// let fp = FloatingPoint::fp16();
+/// let mut q = fp.real_to_format_tensor(&Tensor::ones([16]));
+/// let mut inj = Injector::new(42);
+/// let record = inj.inject_random_value(&fp, &mut q);
+/// assert!(record.element < 16);
+/// ```
+#[derive(Debug)]
+pub struct Injector {
+    rng: StdRng,
+}
+
+impl Injector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Injector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples a uniform value-bit fault for a tensor of `numel` elements
+    /// in a `bit_width`-bit format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `numel` or `bit_width` is zero.
+    pub fn sample_value_fault(&mut self, numel: usize, bit_width: usize) -> Fault {
+        assert!(numel > 0 && bit_width > 0, "empty fault space");
+        Fault {
+            kind: SiteKind::Value,
+            index: self.rng.gen_range(0..numel),
+            bit: self.rng.gen_range(0..bit_width),
+        }
+    }
+
+    /// Samples a uniform metadata-bit fault given word count and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` or `word_width` is zero.
+    pub fn sample_metadata_fault(&mut self, words: usize, word_width: usize) -> Fault {
+        assert!(words > 0 && word_width > 0, "format has no metadata words");
+        Fault {
+            kind: SiteKind::Metadata,
+            index: self.rng.gen_range(0..words),
+            bit: self.rng.gen_range(0..word_width),
+        }
+    }
+
+    /// Samples and executes a random single-bit value flip on `q`.
+    pub fn inject_random_value(&mut self, format: &dyn NumberFormat, q: &mut Quantized) -> ValueFlip {
+        let f = self.sample_value_fault(q.values.numel(), format.bit_width() as usize);
+        flip_value(format, q, f.index, f.bit)
+    }
+
+    /// Samples and executes a random single-bit metadata flip on `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format carries no metadata.
+    pub fn inject_random_metadata(
+        &mut self,
+        format: &dyn NumberFormat,
+        q: &mut Quantized,
+    ) -> MetadataFlip {
+        let f = self.sample_metadata_fault(q.meta.word_count(), q.meta.word_width());
+        flip_metadata(format, q, f.index, f.bit)
+    }
+
+    /// Access to the underlying RNG (for campaign-level sampling such as
+    /// choosing a layer).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formats::{BlockFloatingPoint, FloatingPoint};
+    use tensor::Tensor;
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = Injector::new(1);
+        let mut b = Injector::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.sample_value_fault(100, 8), b.sample_value_fault(100, 8));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Injector::new(1);
+        let mut b = Injector::new(2);
+        let fa: Vec<Fault> = (0..10).map(|_| a.sample_value_fault(1000, 32)).collect();
+        let fb: Vec<Fault> = (0..10).map(|_| b.sample_value_fault(1000, 32)).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn faults_stay_in_range() {
+        let mut inj = Injector::new(3);
+        for _ in 0..500 {
+            let f = inj.sample_value_fault(17, 9);
+            assert!(f.index < 17);
+            assert!(f.bit < 9);
+        }
+    }
+
+    #[test]
+    fn random_value_injection_changes_at_most_one_element() {
+        let fp = FloatingPoint::fp16();
+        let x = Tensor::ones([32]);
+        let mut inj = Injector::new(7);
+        for _ in 0..20 {
+            let mut q = fp.real_to_format_tensor(&x);
+            let rec = inj.inject_random_value(&fp, &mut q);
+            let changed = q
+                .values
+                .as_slice()
+                .iter()
+                .enumerate()
+                .filter(|(i, &v)| v != x.as_slice()[*i])
+                .count();
+            assert!(changed <= 1, "one flip changed {changed} elements");
+            if changed == 1 {
+                assert_ne!(rec.old, rec.new);
+            }
+        }
+    }
+
+    #[test]
+    fn random_metadata_injection_targets_valid_word() {
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::ones([16]); // 4 blocks
+        let mut inj = Injector::new(9);
+        for _ in 0..20 {
+            let mut q = bfp.real_to_format_tensor(&x);
+            let rec = inj.inject_random_metadata(&bfp, &mut q);
+            assert!(rec.word < 4);
+            assert!(rec.bit < 5);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # inject — bit-flip fault injection for number formats
+//!
+//! The paper's error-injection machinery: single- and multi-bit flips in
+//! data values (Method 3 → flip → Method 4) and — uniquely — in the
+//! hardware *metadata* of emerging formats (INT scale factors, BFP shared
+//! exponents, AFP exponent biases). Eight injection sites in total
+//! ([`InjectionSite::all`]), matching §III-B.
+//!
+//! Also provides the toggle-able [`RangeProfile`] detector of §V-B, which
+//! clamps faulty activations back into profiled per-layer ranges.
+//!
+//! # Examples
+//!
+//! ```
+//! use formats::{BlockFloatingPoint, NumberFormat};
+//! use inject::flip_metadata;
+//! use tensor::Tensor;
+//!
+//! let bfp = BlockFloatingPoint::new(5, 5, 4);
+//! let mut q = bfp.real_to_format_tensor(&Tensor::ones([8]));
+//! // Corrupt block 0's shared exponent: all 4 of its values scale at once
+//! // (a single hardware bit behaving as a multi-bit data error).
+//! let record = flip_metadata(&bfp, &mut q, 0, 4);
+//! assert_ne!(record.old, record.new);
+//! ```
+
+mod flip;
+mod injector;
+mod range;
+mod site;
+
+pub use flip::{flip_metadata, flip_value, flip_value_multi, MetadataFlip, ValueFlip};
+pub use injector::{Fault, Injector};
+pub use range::RangeProfile;
+pub use site::{FormatFamily, InjectionSite, SiteKind};

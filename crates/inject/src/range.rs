@@ -1,0 +1,116 @@
+//! The toggle-able range detector (§V-B), modelled on Ranger-style
+//! activation clamping: profile per-layer output ranges on clean runs,
+//! then clamp faulty activations back into the profiled range.
+
+use std::cell::RefCell;
+use tensor::Tensor;
+
+/// Per-layer activation range profile.
+///
+/// Build it by observing clean inferences; apply it with
+/// [`RangeProfile::clamp`] during faulty inferences. Interior mutability
+/// lets a shared hook update the profile during profiling passes.
+#[derive(Debug, Default)]
+pub struct RangeProfile {
+    ranges: RefCell<Vec<Option<(f32, f32)>>>,
+}
+
+impl RangeProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the min/max of `t` for `layer`, widening any existing range.
+    pub fn observe(&self, layer: usize, t: &Tensor) {
+        let mut ranges = self.ranges.borrow_mut();
+        if ranges.len() <= layer {
+            ranges.resize(layer + 1, None);
+        }
+        let (lo, hi) = (t.min_all(), t.max_all());
+        ranges[layer] = Some(match ranges[layer] {
+            Some((l, h)) => (l.min(lo), h.max(hi)),
+            None => (lo, hi),
+        });
+    }
+
+    /// The profiled range of `layer`, if any.
+    pub fn range(&self, layer: usize) -> Option<(f32, f32)> {
+        self.ranges.borrow().get(layer).copied().flatten()
+    }
+
+    /// Number of profiled layers.
+    pub fn len(&self) -> usize {
+        self.ranges.borrow().len()
+    }
+
+    /// True if nothing has been profiled.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.borrow().iter().all(Option::is_none)
+    }
+
+    /// Clamps `t` into `layer`'s profiled range (identity if unprofiled).
+    /// Non-finite values are pulled to the nearest bound, so a NaN/Inf
+    /// produced by an exponent flip is suppressed — the detector's purpose.
+    pub fn clamp(&self, layer: usize, t: &Tensor) -> Tensor {
+        match self.range(layer) {
+            None => t.clone(),
+            Some((lo, hi)) => t.map(|x| {
+                if x.is_nan() {
+                    hi
+                } else {
+                    x.clamp(lo, hi)
+                }
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_widens_range() {
+        let p = RangeProfile::new();
+        p.observe(0, &Tensor::from_vec(vec![-1.0, 2.0], [2]));
+        p.observe(0, &Tensor::from_vec(vec![-3.0, 1.0], [2]));
+        assert_eq!(p.range(0), Some((-3.0, 2.0)));
+    }
+
+    #[test]
+    fn clamp_pulls_outliers_in() {
+        let p = RangeProfile::new();
+        p.observe(1, &Tensor::from_vec(vec![0.0, 10.0], [2]));
+        let faulty = Tensor::from_vec(vec![-5.0, 3.0, 1e30], [3]);
+        let clamped = p.clamp(1, &faulty);
+        assert_eq!(clamped.as_slice(), &[0.0, 3.0, 10.0]);
+    }
+
+    #[test]
+    fn clamp_suppresses_nan_and_inf() {
+        let p = RangeProfile::new();
+        p.observe(0, &Tensor::from_vec(vec![-1.0, 1.0], [2]));
+        let faulty = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY], [3]);
+        let clamped = p.clamp(0, &faulty);
+        assert_eq!(clamped.as_slice(), &[1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn unprofiled_layer_is_identity() {
+        let p = RangeProfile::new();
+        let x = Tensor::from_vec(vec![1e30, -1e30], [2]);
+        assert_eq!(p.clamp(7, &x), x);
+    }
+
+    #[test]
+    fn independent_layers() {
+        let p = RangeProfile::new();
+        p.observe(0, &Tensor::from_vec(vec![0.0, 1.0], [2]));
+        p.observe(3, &Tensor::from_vec(vec![-9.0, 9.0], [2]));
+        assert_eq!(p.range(0), Some((0.0, 1.0)));
+        assert_eq!(p.range(1), None);
+        assert_eq!(p.range(3), Some((-9.0, 9.0)));
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's taxonomy of injection sites: 8 single-bit error sites
+//! informed by the number-format representations (§III-B, Table II).
+
+use formats::NumberFormat;
+use std::fmt;
+
+/// Whether a flip lands in a data value or in hardware metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A bit of one element's encoded value.
+    Value,
+    /// A bit of a metadata register (scale / shared exponent / bias).
+    Metadata,
+}
+
+/// The format family a site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatFamily {
+    /// Generic floating point.
+    Fp,
+    /// Fixed point.
+    Fxp,
+    /// Integer quantisation.
+    Int,
+    /// Block floating point.
+    Bfp,
+    /// AdaptivFloat.
+    Afp,
+}
+
+impl FormatFamily {
+    /// Classifies a concrete format by its name prefix.
+    pub fn of(format: &dyn NumberFormat) -> Option<FormatFamily> {
+        let n = format.name();
+        if n.starts_with("fp_") {
+            Some(FormatFamily::Fp)
+        } else if n.starts_with("fxp_") {
+            Some(FormatFamily::Fxp)
+        } else if n.starts_with("int") {
+            Some(FormatFamily::Int)
+        } else if n.starts_with("bfp_") {
+            Some(FormatFamily::Bfp)
+        } else if n.starts_with("afp_") {
+            Some(FormatFamily::Afp)
+        } else {
+            None
+        }
+    }
+}
+
+/// One of the paper's 8 single-bit injection sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InjectionSite {
+    /// Format family.
+    pub family: FormatFamily,
+    /// Value or metadata.
+    pub kind: SiteKind,
+}
+
+impl InjectionSite {
+    /// All 8 sites studied in the paper: value flips for all 5 families,
+    /// metadata flips for INT, BFP, and AFP.
+    pub fn all() -> [InjectionSite; 8] {
+        use FormatFamily::*;
+        use SiteKind::*;
+        [
+            InjectionSite { family: Fp, kind: Value },
+            InjectionSite { family: Fxp, kind: Value },
+            InjectionSite { family: Int, kind: Value },
+            InjectionSite { family: Bfp, kind: Value },
+            InjectionSite { family: Afp, kind: Value },
+            InjectionSite { family: Int, kind: Metadata },
+            InjectionSite { family: Bfp, kind: Metadata },
+            InjectionSite { family: Afp, kind: Metadata },
+        ]
+    }
+
+    /// Whether `format` supports this site.
+    pub fn supported_by(&self, format: &dyn NumberFormat) -> bool {
+        FormatFamily::of(format) == Some(self.family)
+            && (self.kind == SiteKind::Value || format.supports_metadata_injection())
+    }
+}
+
+impl fmt::Display for InjectionSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fam = match self.family {
+            FormatFamily::Fp => "FP",
+            FormatFamily::Fxp => "FxP",
+            FormatFamily::Int => "INT",
+            FormatFamily::Bfp => "BFP",
+            FormatFamily::Afp => "AFP",
+        };
+        let kind = match self.kind {
+            SiteKind::Value => "value",
+            SiteKind::Metadata => "metadata",
+        };
+        write!(f, "{fam}/{kind}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use formats::{AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, IntQuant};
+
+    #[test]
+    fn exactly_eight_sites() {
+        let sites = InjectionSite::all();
+        assert_eq!(sites.len(), 8);
+        let meta_count = sites.iter().filter(|s| s.kind == SiteKind::Metadata).count();
+        assert_eq!(meta_count, 3, "INT, BFP, AFP metadata sites");
+    }
+
+    #[test]
+    fn family_classification() {
+        assert_eq!(FormatFamily::of(&FloatingPoint::fp16()), Some(FormatFamily::Fp));
+        assert_eq!(FormatFamily::of(&FixedPoint::new(3, 4)), Some(FormatFamily::Fxp));
+        assert_eq!(FormatFamily::of(&IntQuant::new(8)), Some(FormatFamily::Int));
+        assert_eq!(
+            FormatFamily::of(&BlockFloatingPoint::new(5, 5, 8)),
+            Some(FormatFamily::Bfp)
+        );
+        assert_eq!(FormatFamily::of(&AdaptivFloat::new(4, 3)), Some(FormatFamily::Afp));
+    }
+
+    #[test]
+    fn metadata_sites_require_support() {
+        let meta_fp = InjectionSite { family: FormatFamily::Fp, kind: SiteKind::Metadata };
+        assert!(!meta_fp.supported_by(&FloatingPoint::fp16()));
+        let meta_int = InjectionSite { family: FormatFamily::Int, kind: SiteKind::Metadata };
+        assert!(meta_int.supported_by(&IntQuant::new(8)));
+    }
+
+    #[test]
+    fn display_names() {
+        let s = InjectionSite { family: FormatFamily::Bfp, kind: SiteKind::Metadata };
+        assert_eq!(s.to_string(), "BFP/metadata");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the injection engine across random formats,
+//! fault locations, and tensors.
+
+use formats::{BlockFloatingPoint, FloatingPoint, IntQuant, NumberFormat};
+use inject::{flip_metadata, flip_value, Injector, RangeProfile};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A value flip changes only the targeted element, for any geometry.
+    #[test]
+    fn value_flip_is_local(
+        values in prop::collection::vec(-100.0f32..100.0, 2..24),
+        elem_seed in 0usize..1000,
+        bit_seed in 0usize..1000,
+        e in 2u32..=6,
+        m in 1u32..=8,
+    ) {
+        let fp = FloatingPoint::new(e, m);
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        let mut q = fp.real_to_format_tensor(&x);
+        let before = q.values.clone();
+        let element = elem_seed % values.len();
+        let bit = bit_seed % fp.bit_width() as usize;
+        flip_value(&fp, &mut q, element, bit);
+        for i in 0..values.len() {
+            if i != element {
+                prop_assert_eq!(q.values.as_slice()[i], before.as_slice()[i]);
+            }
+        }
+    }
+
+    /// A BFP shared-exponent flip touches exactly one block, scaling each
+    /// member by the same power of two.
+    #[test]
+    fn bfp_metadata_flip_scales_one_block_uniformly(
+        block in 1usize..=8,
+        word_seed in 0usize..100,
+        bit in 0usize..5,
+        values in prop::collection::vec(0.1f32..100.0, 8..32),
+    ) {
+        let bfp = BlockFloatingPoint::new(5, 5, block);
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        let mut q = bfp.real_to_format_tensor(&x);
+        let before = q.values.clone();
+        let words = q.meta.word_count();
+        let word = word_seed % words;
+        flip_metadata(&bfp, &mut q, word, bit);
+        let start = word * block;
+        let end = (start + block).min(values.len());
+        // Ratio uniform within the block (where before ≠ 0).
+        let mut ratio: Option<f32> = None;
+        for i in start..end {
+            let b = before.as_slice()[i];
+            if b != 0.0 {
+                let r = q.values.as_slice()[i] / b;
+                if let Some(r0) = ratio {
+                    prop_assert!((r - r0).abs() <= r0.abs() * 1e-4,
+                        "non-uniform ratio in block: {r} vs {r0}");
+                } else {
+                    ratio = Some(r);
+                }
+            }
+        }
+        if let Some(r) = ratio {
+            prop_assert!(r > 0.0);
+            // Power of two: log2 is an integer.
+            let l = r.log2();
+            prop_assert!((l - l.round()).abs() < 1e-3, "ratio {r} not a power of 2");
+        }
+        // Other blocks untouched.
+        for i in 0..values.len() {
+            if i < start || i >= end {
+                prop_assert_eq!(q.values.as_slice()[i], before.as_slice()[i]);
+            }
+        }
+    }
+
+    /// An INT scale flip preserves the relative structure of the tensor
+    /// (all values scale by the same factor).
+    #[test]
+    fn int_scale_flip_preserves_ratios(
+        values in prop::collection::vec(0.5f32..50.0, 3..16),
+        bit in 1usize..32, // skip the sign bit: a negative scale flips signs
+    ) {
+        let int8 = IntQuant::new(8);
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        let mut q = int8.real_to_format_tensor(&x);
+        let before = q.values.clone();
+        flip_metadata(&int8, &mut q, 0, bit);
+        // All non-zero pairs keep their ratios.
+        let (mut r_known, mut found) = (0.0f64, false);
+        for i in 0..values.len() {
+            let (b, a) = (before.as_slice()[i] as f64, q.values.as_slice()[i] as f64);
+            if b.abs() > 1e-9 && a.is_finite() {
+                let r = a / b;
+                if found {
+                    prop_assert!((r - r_known).abs() <= r_known.abs() * 1e-3 + 1e-9,
+                        "ratios diverge: {r} vs {r_known}");
+                } else {
+                    r_known = r;
+                    found = true;
+                }
+            }
+        }
+    }
+
+    /// Injector sampling is uniform-ish: over many draws every element and
+    /// bit index appears.
+    #[test]
+    fn injector_covers_the_fault_space(seed in 0u64..1000) {
+        let mut inj = Injector::new(seed);
+        let (numel, width) = (5usize, 4usize);
+        let mut elem_seen = vec![false; numel];
+        let mut bit_seen = vec![false; width];
+        for _ in 0..400 {
+            let f = inj.sample_value_fault(numel, width);
+            elem_seen[f.index] = true;
+            bit_seen[f.bit] = true;
+        }
+        prop_assert!(elem_seen.iter().all(|&s| s), "some element never sampled");
+        prop_assert!(bit_seen.iter().all(|&s| s), "some bit never sampled");
+    }
+
+    /// Range clamping is idempotent and never widens values.
+    #[test]
+    fn range_clamp_idempotent(
+        profile_vals in prop::collection::vec(-10.0f32..10.0, 2..8),
+        faulty_vals in prop::collection::vec(-1e6f32..1e6, 2..8),
+    ) {
+        let p = RangeProfile::new();
+        let pn = profile_vals.len();
+        p.observe(0, &Tensor::from_vec(profile_vals, [pn]));
+        let n = faulty_vals.len();
+        let faulty = Tensor::from_vec(faulty_vals, [n]);
+        let once = p.clamp(0, &faulty);
+        let twice = p.clamp(0, &once);
+        prop_assert_eq!(&once, &twice);
+        let (lo, hi) = p.range(0).unwrap();
+        for &v in once.as_slice() {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+}

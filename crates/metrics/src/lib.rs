@@ -1,0 +1,178 @@
+#![warn(missing_docs)]
+
+//! # metrics — accuracy and resilience metrics
+//!
+//! Implements the two resilience metrics the paper supports (§IV-C):
+//!
+//! - **mismatch** — did the error-injected inference change the predicted
+//!   class relative to the error-free inference? (binary, slow to converge)
+//! - **ΔLoss** — the absolute difference in cross-entropy loss between the
+//!   faulty and error-free inferences (continuous, converges
+//!   asymptotically faster; Mahmoud et al.)
+//!
+//! plus top-1 accuracy and the running statistics used to compare their
+//! convergence behaviour.
+
+mod stats;
+
+pub use stats::{ConvergenceTrace, RunningStats};
+
+use tensor::ops;
+use tensor::Tensor;
+
+/// Top-1 classification accuracy of `[N, C]` logits against targets.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::accuracy;
+/// use tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![2.0, 1.0, 0.0, 3.0], [2, 2]);
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+/// ```
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = ops::argmax_rows(logits);
+    assert_eq!(preds.len(), targets.len(), "batch size mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f32 / targets.len() as f32
+}
+
+/// Per-sample cross-entropy losses of `[N, C]` logits against targets.
+///
+/// NaN/Inf logits (which fault injection can produce) yield large finite
+/// losses: a NaN row is treated as maximally wrong (loss = 100.0),
+/// matching how campaigns score corrupted inferences.
+pub fn cross_entropy_per_sample(logits: &Tensor, targets: &[usize]) -> Vec<f32> {
+    const PENALTY: f32 = 100.0;
+    assert_eq!(logits.ndim(), 2, "expected [N, C] logits");
+    let c = logits.dims()[1];
+    assert_eq!(logits.dims()[0], targets.len(), "batch size mismatch");
+    let logp = ops::log_softmax_lastdim(logits);
+    targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let l = -logp.as_slice()[i * c + t];
+            if l.is_finite() {
+                l.min(PENALTY)
+            } else {
+                PENALTY
+            }
+        })
+        .collect()
+}
+
+/// Mean cross-entropy loss over the batch.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let per = cross_entropy_per_sample(logits, targets);
+    if per.is_empty() {
+        0.0
+    } else {
+        per.iter().sum::<f32>() / per.len() as f32
+    }
+}
+
+/// The outcome of comparing one faulty inference against its golden run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionOutcome {
+    /// Fraction of samples whose top-1 prediction changed (the paper's
+    /// mismatch metric; a single-inference campaign yields 0.0 or 1.0).
+    pub mismatch_rate: f32,
+    /// Mean |CE_faulty − CE_golden| over the batch (the ΔLoss metric).
+    pub delta_loss: f32,
+}
+
+/// Compares faulty logits against golden logits under both metrics.
+///
+/// # Panics
+///
+/// Panics if the two logit tensors differ in shape or don't match
+/// `targets`.
+pub fn compare_outcomes(
+    golden: &Tensor,
+    faulty: &Tensor,
+    targets: &[usize],
+) -> InjectionOutcome {
+    assert_eq!(golden.shape(), faulty.shape(), "logit shape mismatch");
+    let gp = ops::argmax_rows(golden);
+    let fp = ops::argmax_rows(faulty);
+    let mismatches = gp.iter().zip(&fp).filter(|(a, b)| a != b).count();
+    let gl = cross_entropy_per_sample(golden, targets);
+    let fl = cross_entropy_per_sample(faulty, targets);
+    let n = targets.len().max(1);
+    let delta: f32 = gl.iter().zip(&fl).map(|(a, b)| (a - b).abs()).sum::<f32>() / n as f32;
+    InjectionOutcome {
+        mismatch_rate: mismatches as f32 / n as f32,
+        delta_loss: delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_perfect_and_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Tensor::from_vec(vec![5.0, 0.0], [1, 2]);
+        let bad = Tensor::from_vec(vec![0.0, 5.0], [1, 2]);
+        assert!(cross_entropy(&good, &[0]) < cross_entropy(&bad, &[0]));
+    }
+
+    #[test]
+    fn cross_entropy_matches_analytic() {
+        // Uniform logits over C classes → CE = ln(C).
+        let logits = Tensor::zeros([1, 4]);
+        assert!((cross_entropy(&logits, &[2]) - (4.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nan_logits_get_penalty_not_nan() {
+        let logits = Tensor::from_vec(vec![f32::NAN, 1.0], [1, 2]);
+        let l = cross_entropy(&logits, &[0]);
+        assert!(l.is_finite());
+        assert!(l >= 99.0);
+    }
+
+    #[test]
+    fn identical_runs_have_zero_outcome() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, 1.0, 2.0], [2, 3]);
+        let o = compare_outcomes(&logits, &logits, &[2, 2]);
+        assert_eq!(o.mismatch_rate, 0.0);
+        assert_eq!(o.delta_loss, 0.0);
+    }
+
+    #[test]
+    fn masked_corruption_detected_by_delta_loss_not_mismatch() {
+        // Corruption that perturbs confidence without flipping the argmax:
+        // mismatch says "benign", ΔLoss is non-zero — the paper's argument
+        // for ΔLoss's faster convergence.
+        let golden = Tensor::from_vec(vec![4.0, 0.0], [1, 2]);
+        let faulty = Tensor::from_vec(vec![1.0, 0.0], [1, 2]);
+        let o = compare_outcomes(&golden, &faulty, &[0]);
+        assert_eq!(o.mismatch_rate, 0.0);
+        assert!(o.delta_loss > 0.1);
+    }
+
+    #[test]
+    fn argmax_flip_counts_as_mismatch() {
+        let golden = Tensor::from_vec(vec![2.0, 0.0, 2.0, 0.0], [2, 2]);
+        let faulty = Tensor::from_vec(vec![0.0, 2.0, 2.0, 0.0], [2, 2]);
+        let o = compare_outcomes(&golden, &faulty, &[0, 0]);
+        assert_eq!(o.mismatch_rate, 0.5);
+    }
+}

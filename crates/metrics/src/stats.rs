@@ -1,0 +1,230 @@
+//! Running statistics and convergence tracking for injection campaigns.
+
+/// Welford's online mean/variance accumulator.
+///
+/// # Examples
+///
+/// ```
+/// use metrics::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.variance(), 1.0); // sample variance
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f32>,
+    max: Option<f32>,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.n += 1;
+        let xf = x as f64;
+        let d = xf - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (xf - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f32> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f32> {
+        self.max
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Unbiased sample variance (0.0 with fewer than 2 observations).
+    pub fn variance(&self) -> f32 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64) as f32
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f32 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f32).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval for the mean
+    /// (normal approximation, 1.96·SEM).
+    pub fn ci95_half_width(&self) -> f32 {
+        1.96 * self.std_error()
+    }
+}
+
+/// Tracks how a campaign's running mean converges as injections accumulate
+/// — used to reproduce the paper's claim that ΔLoss converges faster than
+/// mismatch counting.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTrace {
+    stats: RunningStats,
+    trace: Vec<f32>,
+}
+
+impl ConvergenceTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation, recording the running mean after it.
+    pub fn push(&mut self, x: f32) {
+        self.stats.push(x);
+        self.trace.push(self.stats.mean());
+    }
+
+    /// The running-mean trajectory.
+    pub fn running_means(&self) -> &[f32] {
+        &self.trace
+    }
+
+    /// Final statistics.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// The smallest sample count after which every running mean stays
+    /// within `tol · |final mean|` of the final mean. Returns the total
+    /// count if the trace never settles (or is empty).
+    ///
+    /// This is the "injections needed to converge" comparison of the two
+    /// metrics: lower is faster convergence.
+    pub fn samples_to_converge(&self, tol: f32) -> usize {
+        let n = self.trace.len();
+        if n == 0 {
+            return 0;
+        }
+        let target = *self.trace.last().unwrap();
+        let band = tol * target.abs().max(1e-12);
+        // Find the last index that is OUT of band; convergence starts after.
+        let mut last_out = None;
+        for (i, &m) in self.trace.iter().enumerate() {
+            if (m - target).abs() > band {
+                last_out = Some(i);
+            }
+        }
+        match last_out {
+            None => 1,
+            Some(i) => (i + 2).min(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / (xs.len() - 1) as f32;
+        assert!((s.mean() - mean).abs() < 1e-6);
+        assert!((s.variance() - var).abs() < 1e-5);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut s = RunningStats::new();
+        for x in [3.0f32, -1.0, 7.5, 0.0] {
+            s.push(x);
+        }
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.5));
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push((i % 3) as f32);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f32);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn continuous_metric_converges_faster_than_binary() {
+        // Simulate the paper's §IV-C claim: a continuous observable with
+        // the same mean as a rare binary one settles in fewer samples.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = 0.05f32; // rare mismatches
+        let mut binary = ConvergenceTrace::new();
+        let mut continuous = ConvergenceTrace::new();
+        for _ in 0..4000 {
+            let hit = rng.gen::<f32>() < p;
+            binary.push(if hit { 1.0 } else { 0.0 });
+            // Continuous signal centred on the same mean with small noise.
+            continuous.push(p + rng.gen_range(-0.01..0.01));
+        }
+        let cb = binary.samples_to_converge(0.1);
+        let cc = continuous.samples_to_converge(0.1);
+        assert!(cc < cb, "continuous {cc} should converge before binary {cb}");
+    }
+
+    #[test]
+    fn convergence_of_constant_is_immediate() {
+        let mut t = ConvergenceTrace::new();
+        for _ in 0..10 {
+            t.push(2.5);
+        }
+        assert_eq!(t.samples_to_converge(0.01), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! DeiT-style vision transformers (Touvron et al.), width/depth-scaled for
+//! CPU execution (see DESIGN.md §2). Classification uses mean pooling over
+//! tokens instead of a class token — a standard ViT variant that preserves
+//! the attention-based architecture the paper contrasts with CNNs.
+
+use nn::{Ctx, LayerNorm, Linear, Module, Param, PatchEmbed, TransformerBlock};
+use rand::Rng;
+use tensor::Var;
+
+/// Architecture description for [`VisionTransformer`].
+#[derive(Debug, Clone)]
+pub struct DeitConfig {
+    /// Model name (used in layer names and weight files).
+    pub name: String,
+    /// Input image side length.
+    pub img_size: usize,
+    /// Patch side length.
+    pub patch: usize,
+    /// Token embedding width.
+    pub dim: usize,
+    /// Number of encoder blocks.
+    pub depth: usize,
+    /// Attention heads per block.
+    pub heads: usize,
+    /// MLP expansion factor.
+    pub mlp_ratio: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl DeitConfig {
+    /// A scaled DeiT-tiny: narrow and shallow.
+    pub fn deit_tiny(img_size: usize, num_classes: usize) -> Self {
+        DeitConfig {
+            name: "deit_tiny".into(),
+            img_size,
+            patch: 4,
+            dim: 48,
+            depth: 4,
+            heads: 3,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+
+    /// A scaled DeiT-base: wider and deeper than tiny.
+    pub fn deit_base(img_size: usize, num_classes: usize) -> Self {
+        DeitConfig {
+            name: "deit_base".into(),
+            img_size,
+            patch: 4,
+            dim: 96,
+            depth: 6,
+            heads: 6,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+
+    /// A minimal transformer for fast tests.
+    pub fn tiny_test(img_size: usize, num_classes: usize) -> Self {
+        DeitConfig {
+            name: "deit_test".into(),
+            img_size,
+            patch: 4,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            mlp_ratio: 2,
+            num_classes,
+        }
+    }
+}
+
+/// A vision transformer built from a [`DeitConfig`].
+#[derive(Debug)]
+pub struct VisionTransformer {
+    config: DeitConfig,
+    patch_embed: PatchEmbed,
+    blocks: Vec<TransformerBlock>,
+    norm: LayerNorm,
+    head: Linear,
+}
+
+impl VisionTransformer {
+    /// Builds the network with fresh random weights.
+    pub fn new(config: DeitConfig, rng: &mut impl Rng) -> Self {
+        let patch_embed = PatchEmbed::new("patch", 3, config.img_size, config.patch, config.dim, rng);
+        let blocks = (0..config.depth)
+            .map(|i| TransformerBlock::new(&format!("blk{i}"), config.dim, config.heads, config.mlp_ratio, rng))
+            .collect();
+        let norm = LayerNorm::new("norm", config.dim);
+        let head = Linear::new("head", config.dim, config.num_classes, true, rng);
+        VisionTransformer { config, patch_embed, blocks, norm, head }
+    }
+
+    /// The architecture description.
+    pub fn config(&self) -> &DeitConfig {
+        &self.config
+    }
+}
+
+impl Module for VisionTransformer {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let mut tokens = self.patch_embed.forward(x, ctx); // [B, T, D]
+        for b in &self.blocks {
+            tokens = b.forward(&tokens, ctx);
+        }
+        let tokens = self.norm.forward(&tokens, ctx);
+        // Mean-pool over the token dimension: [B, T, D] → [B, D].
+        let dims = tokens.shape().dims().to_vec();
+        let pooled = tokens
+            .mean_axes_keepdim(&[1])
+            .reshape([dims[0], dims[2]]);
+        self.head.forward(&pooled, ctx)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.patch_embed.visit_params(f);
+        for b in &self.blocks {
+            b.visit_params(f);
+        }
+        self.norm.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Tensor;
+
+    #[test]
+    fn deit_tiny_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = VisionTransformer::new(DeitConfig::tiny_test(16, 10), &mut rng);
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::randn([2, 3, 16, 16], &mut rng));
+        let y = net.forward(&x, &mut ctx);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn deit_trains_one_step() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = VisionTransformer::new(DeitConfig::tiny_test(8, 3), &mut rng);
+        let mut ctx = Ctx::training();
+        let x = ctx.input(Tensor::randn([2, 3, 8, 8], &mut rng));
+        let logits = net.forward(&x, &mut ctx);
+        let loss = logits.cross_entropy(&[1, 0]);
+        let grads = loss.backward();
+        for (p, v) in ctx.bindings() {
+            assert!(grads.get(v).is_some(), "no grad for {}", p.name());
+        }
+        assert!(loss.value().item().is_finite());
+    }
+
+    #[test]
+    fn base_is_bigger_than_tiny() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tiny = VisionTransformer::new(DeitConfig::deit_tiny(32, 10), &mut rng);
+        let base = VisionTransformer::new(DeitConfig::deit_base(32, 10), &mut rng);
+        assert!(base.param_count() > tiny.param_count() * 2);
+    }
+
+    #[test]
+    fn linear_layers_are_instrumented() {
+        // Each block has q,k,v,proj,fc1,fc2 (6 Linear) + patch conv + head.
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = VisionTransformer::new(DeitConfig::tiny_test(8, 3), &mut rng);
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::randn([1, 3, 8, 8], &mut rng));
+        net.forward(&x, &mut ctx);
+        // Instrumented layer count: patch conv (Conv) + per block
+        // (ln1 + q + k + v + attn + proj + ln2 + fc1 + fc2 = 9) + final
+        // norm + head.
+        assert_eq!(ctx.layers_seen(), 1 + 2 * 9 + 1 + 1);
+    }
+}

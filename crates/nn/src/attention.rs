@@ -1,0 +1,314 @@
+//! Transformer building blocks: multi-head self-attention, MLP, encoder
+//! block, and patch embedding — enough to build the DeiT-style vision
+//! transformers the paper evaluates.
+
+use crate::layers::Linear;
+use crate::module::{Ctx, LayerKind, Module, Param};
+use crate::norm::LayerNorm;
+use rand::Rng;
+use tensor::{Tensor, Var};
+
+/// Multi-head self-attention over `[B, T, D]` token sequences.
+///
+/// The Q/K/V/output projections are [`Linear`] layers and therefore
+/// instrumented individually (the paper's LINEAR default); the attention
+/// matrix itself is exposed to hooks under [`LayerKind::Attention`].
+#[derive(Debug)]
+pub struct MultiHeadAttention {
+    name: String,
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    proj: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with `heads` heads over model width `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(name: impl Into<String>, dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
+        let name = name.into();
+        MultiHeadAttention {
+            q: Linear::new(format!("{name}.q"), dim, dim, true, rng),
+            k: Linear::new(format!("{name}.k"), dim, dim, true, rng),
+            v: Linear::new(format!("{name}.v"), dim, dim, true, rng),
+            proj: Linear::new(format!("{name}.proj"), dim, dim, true, rng),
+            heads,
+            dim,
+            name,
+        }
+    }
+
+    fn split_heads(&self, x: &Var, b: usize, t: usize) -> Var {
+        let dh = self.dim / self.heads;
+        x.reshape([b, t, self.heads, dh])
+            .permute(&[0, 2, 1, 3])
+            .reshape([b * self.heads, t, dh])
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let dims = x.shape().dims().to_vec();
+        assert_eq!(dims.len(), 3, "{}: expected [B,T,D]", self.name);
+        let (b, t, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.dim, "{}: model width mismatch", self.name);
+        let dh = self.dim / self.heads;
+
+        let q = self.split_heads(&self.q.forward(x, ctx), b, t);
+        let k = self.split_heads(&self.k.forward(x, ctx), b, t);
+        let v = self.split_heads(&self.v.forward(x, ctx), b, t);
+
+        let scores = q.bmm(&k.permute(&[0, 2, 1])).scale(1.0 / (dh as f32).sqrt());
+        let attn = scores.softmax_lastdim();
+        let attn = ctx.hook_output(LayerKind::Attention, &format!("{}.attn", self.name), attn);
+
+        let out = attn
+            .bmm(&v)
+            .reshape([b, self.heads, t, dh])
+            .permute(&[0, 2, 1, 3])
+            .reshape([b, t, d]);
+        self.proj.forward(&out, ctx)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.q.visit_params(f);
+        self.k.visit_params(f);
+        self.v.visit_params(f);
+        self.proj.visit_params(f);
+    }
+}
+
+/// The transformer MLP: `Linear → GELU → Linear`.
+#[derive(Debug)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// Creates an MLP with hidden width `hidden`.
+    pub fn new(name: &str, dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Mlp {
+            fc1: Linear::new(format!("{name}.fc1"), dim, hidden, true, rng),
+            fc2: Linear::new(format!("{name}.fc2"), hidden, dim, true, rng),
+        }
+    }
+}
+
+impl Module for Mlp {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let h = self.fc1.forward(x, ctx).gelu();
+        self.fc2.forward(&h, ctx)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+/// A pre-norm transformer encoder block:
+/// `x + Attn(LN(x))` then `x + MLP(LN(x))`.
+#[derive(Debug)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    mlp: Mlp,
+}
+
+impl TransformerBlock {
+    /// Creates a block with MLP expansion factor `mlp_ratio`.
+    pub fn new(name: &str, dim: usize, heads: usize, mlp_ratio: usize, rng: &mut impl Rng) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(format!("{name}.ln1"), dim),
+            attn: MultiHeadAttention::new(format!("{name}.attn"), dim, heads, rng),
+            ln2: LayerNorm::new(format!("{name}.ln2"), dim),
+            mlp: Mlp::new(&format!("{name}.mlp"), dim, dim * mlp_ratio, rng),
+        }
+    }
+}
+
+impl Module for TransformerBlock {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let a = self.attn.forward(&self.ln1.forward(x, ctx), ctx);
+        let x = x.add(&a);
+        let m = self.mlp.forward(&self.ln2.forward(&x, ctx), ctx);
+        x.add(&m)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.ln1.visit_params(f);
+        self.attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.mlp.visit_params(f);
+    }
+}
+
+/// Patch embedding: a strided convolution that tokenises `[B, C, H, W]`
+/// into `[B, T, D]` with `T = (H/p)·(W/p)`, plus a learnable positional
+/// embedding.
+#[derive(Debug)]
+pub struct PatchEmbed {
+    conv: crate::layers::Conv2d,
+    pos: Param,
+    dim: usize,
+}
+
+impl PatchEmbed {
+    /// Creates a patch embedding for `img`-pixel square inputs with
+    /// `patch`-pixel patches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img` is not divisible by `patch`.
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        img: usize,
+        patch: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(img % patch, 0, "image {img} not divisible by patch {patch}");
+        let tokens = (img / patch) * (img / patch);
+        let mut pos = Tensor::randn([1, tokens, dim], rng);
+        pos.map_inplace(|x| x * 0.02);
+        PatchEmbed {
+            conv: crate::layers::Conv2d::new(
+                format!("{name}.proj"),
+                in_ch,
+                dim,
+                patch,
+                patch,
+                0,
+                true,
+                rng,
+            ),
+            pos: Param::new(format!("{name}.pos"), pos),
+            dim,
+        }
+    }
+}
+
+impl Module for PatchEmbed {
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
+        let y = self.conv.forward(x, ctx); // [B, D, H/p, W/p]
+        let dims = y.shape().dims().to_vec();
+        let (b, d, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let tokens = y.reshape([b, d, h * w]).permute(&[0, 2, 1]); // [B, T, D]
+        let pos = ctx.var_of(&self.pos);
+        debug_assert_eq!(d, self.dim);
+        tokens.add(&pos)
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.conv.visit_params(f);
+        f(&self.pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = MultiHeadAttention::new("a", 16, 4, &mut rng);
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::randn([2, 5, 16], &mut rng));
+        let y = attn.forward(&x, &mut ctx);
+        assert_eq!(y.shape().dims(), &[2, 5, 16]);
+        // q, k, v, proj hooked as Linear + 1 Attention hook point.
+        assert_eq!(ctx.layers_seen(), 5);
+    }
+
+    #[test]
+    fn attention_rows_mix_tokens() {
+        // With non-trivial weights, each output token depends on every
+        // input token: perturbing token 0 must change token 3's output.
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = MultiHeadAttention::new("a", 8, 2, &mut rng);
+        let base = Tensor::randn([1, 4, 8], &mut rng);
+        let mut ctx1 = Ctx::inference();
+        let y1 = attn.forward(&ctx1.input(base.clone()), &mut ctx1).value();
+        let mut perturbed = base.clone();
+        perturbed.as_mut_slice()[0] += 1.0;
+        let mut ctx2 = Ctx::inference();
+        let y2 = attn.forward(&ctx2.input(perturbed), &mut ctx2).value();
+        let tok3_diff: f32 = (0..8)
+            .map(|d| (y1.at(&[0, 3, d]) - y2.at(&[0, 3, d])).abs())
+            .sum();
+        assert!(tok3_diff > 1e-6, "token 3 unaffected by token 0");
+    }
+
+    #[test]
+    fn transformer_block_trains() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = TransformerBlock::new("blk", 8, 2, 2, &mut rng);
+        let mut ctx = Ctx::training();
+        let x = ctx.input(Tensor::randn([2, 3, 8], &mut rng));
+        let y = block.forward(&x, &mut ctx);
+        let loss = y.mul(&y).sum_all();
+        let grads = loss.backward();
+        let mut missing = Vec::new();
+        for (p, v) in ctx.bindings() {
+            if grads.get(v).is_none() {
+                missing.push(p.name().to_string());
+            }
+        }
+        assert!(missing.is_empty(), "params without grads: {missing:?}");
+    }
+
+    #[test]
+    fn patch_embed_tokenizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pe = PatchEmbed::new("pe", 3, 16, 4, 32, &mut rng);
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::randn([2, 3, 16, 16], &mut rng));
+        let y = pe.forward(&x, &mut ctx);
+        assert_eq!(y.shape().dims(), &[2, 16, 32]); // 4x4 patches → 16 tokens
+    }
+
+    #[test]
+    fn softmax_attention_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let attn = MultiHeadAttention::new("a", 8, 2, &mut rng);
+        // Capture attention via a hook.
+        use crate::module::{ForwardHook, LayerInfo, LayerKind};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Capture(RefCell<Option<Tensor>>);
+        impl ForwardHook for Capture {
+            fn on_output(&self, l: &LayerInfo, out: &Tensor) -> Option<Tensor> {
+                if l.kind == LayerKind::Attention {
+                    *self.0.borrow_mut() = Some(out.clone());
+                }
+                None
+            }
+            fn applies_to(&self, k: LayerKind) -> bool {
+                k == LayerKind::Attention
+            }
+        }
+        let cap = Rc::new(Capture(RefCell::new(None)));
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(cap.clone());
+        let x = ctx.input(Tensor::randn([1, 4, 8], &mut rng));
+        attn.forward(&x, &mut ctx);
+        let a = cap.0.borrow().clone().expect("attention captured");
+        assert_eq!(a.dims(), &[2, 4, 4]); // B*H=2 heads
+        for row in a.as_slice().chunks(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

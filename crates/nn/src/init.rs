@@ -1,0 +1,46 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+use tensor::Tensor;
+
+/// Kaiming-He normal initialisation for ReLU networks:
+/// `N(0, sqrt(2 / fan_in))`.
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut t = Tensor::randn(shape.to_vec(), rng);
+    t.map_inplace(|x| x * std);
+    t
+}
+
+/// Xavier/Glorot uniform initialisation: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape.to_vec(), -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_normal(&[1000, 100], 100, &mut rng);
+        let mean = t.mean_all();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean_all();
+        let want = 2.0 / 100.0;
+        assert!((var - want).abs() < want * 0.1, "var {var} want {want}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let a = (6.0 / 128.0f32).sqrt();
+        assert!(t.max_all() <= a && t.min_all() >= -a);
+        assert!(t.max_all() > a * 0.8, "should fill the range");
+    }
+}

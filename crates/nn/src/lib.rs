@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # nn — a small DNN framework with PyTorch-style forward hooks
+//!
+//! The substrate GoldenEye instruments: layers ([`Conv2d`], [`Linear`],
+//! [`BatchNorm2d`], [`LayerNorm`], [`MultiHeadAttention`], …) whose outputs
+//! route through registered [`ForwardHook`]s, exactly as the paper uses
+//! PyTorch's hook functionality to emulate number formats at layer
+//! granularity (§III-A).
+//!
+//! Training is supported through the `tensor` crate's autograd tape plus
+//! the optimizers in [`optim`]; hooks run under a straight-through
+//! estimator so quantised forward passes still backpropagate.
+//!
+//! # Examples
+//!
+//! ```
+//! use nn::{Conv2d, Ctx, Module, Relu, Sequential, GlobalAvgPool, Linear};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use tensor::Tensor;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let net = Sequential::new()
+//!     .push(Conv2d::new("c1", 3, 8, 3, 1, 1, false, &mut rng))
+//!     .push(Relu::new("r1"))
+//!     .push(GlobalAvgPool::new("gap"))
+//!     .push(Linear::new("fc", 8, 10, true, &mut rng));
+//! let mut ctx = Ctx::inference();
+//! let x = ctx.input(Tensor::zeros([1, 3, 16, 16]));
+//! let logits = net.forward(&x, &mut ctx);
+//! assert_eq!(logits.shape().dims(), &[1, 10]);
+//! ```
+
+mod attention;
+pub mod init;
+mod layers;
+mod module;
+mod norm;
+pub mod optim;
+
+pub use attention::{Mlp, MultiHeadAttention, PatchEmbed, TransformerBlock};
+pub use layers::{
+    AvgPool2d, Conv2d, Dropout, Flatten, Gelu, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential,
+    Sigmoid, Silu, Tanh,
+};
+pub use module::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param};
+pub use norm::{BatchNorm2d, LayerNorm};
+pub use optim::{Adam, Sgd};

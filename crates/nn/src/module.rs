@@ -1,0 +1,344 @@
+//! The module system: parameters, forward context, and the **hook**
+//! mechanism that GoldenEye instruments.
+//!
+//! The paper leverages "PyTorch's hook functionality to perform number
+//! format emulation at the layer granularity" (§III-A). Here, every
+//! instrumentable layer routes its output through [`Ctx::hook_output`];
+//! registered [`ForwardHook`]s may replace the output tensor (e.g. with its
+//! quantised image, possibly with a bit flipped). Hooks run under a
+//! straight-through estimator so training still backpropagates.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use tensor::{Tape, Tensor, Var};
+
+/// The kind of a layer, used to select which layers hooks apply to.
+///
+/// The paper instruments CONV and LINEAR by default "due to their
+/// computational intensity", with all layer types supported optionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully-connected / projection layer.
+    Linear,
+    /// Batch/layer normalisation.
+    Norm,
+    /// Elementwise non-linearity.
+    Activation,
+    /// Pooling.
+    Pool,
+    /// Attention score/context computation.
+    Attention,
+    /// Anything else.
+    Other,
+}
+
+/// Identity of one instrumented layer during a forward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// Sequential index of the layer among instrumented layers (0-based,
+    /// in execution order).
+    pub index: usize,
+    /// The layer's kind.
+    pub kind: LayerKind,
+    /// The layer's name (unique within a model).
+    pub name: String,
+}
+
+/// A hook invoked on each instrumented layer output.
+///
+/// Returning `Some(t)` replaces the output with `t` (which must have the
+/// same shape); `None` leaves it unchanged.
+pub trait ForwardHook {
+    /// Observes (and optionally replaces) the output of `layer`.
+    fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor>;
+
+    /// Which layer kinds this hook applies to. Defaults to the paper's
+    /// default instrumentation set: CONV and LINEAR.
+    fn applies_to(&self, kind: LayerKind) -> bool {
+        matches!(kind, LayerKind::Conv | LayerKind::Linear)
+    }
+}
+
+/// A trainable parameter: a shared, mutable tensor with a name.
+///
+/// Cloning a `Param` aliases the same storage.
+#[derive(Clone)]
+pub struct Param {
+    value: Rc<RefCell<Tensor>>,
+    name: String,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param { value: Rc::new(RefCell::new(value)), name: name.into() }
+    }
+
+    /// The parameter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A snapshot of the current value.
+    pub fn get(&self) -> Tensor {
+        self.value.borrow().clone()
+    }
+
+    /// Replaces the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value's shape differs.
+    pub fn set(&self, t: Tensor) {
+        let mut v = self.value.borrow_mut();
+        assert_eq!(v.shape(), t.shape(), "parameter {} shape changed", self.name);
+        *v = t;
+    }
+
+    /// Applies an in-place update to the value.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.value.borrow_mut());
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.value.borrow().numel()
+    }
+
+    /// A stable identity for this parameter's storage (used by optimizers).
+    pub fn key(&self) -> usize {
+        Rc::as_ptr(&self.value) as usize
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Param({}, {:?})", self.name, self.value.borrow().shape())
+    }
+}
+
+/// Per-forward-pass state: the autograd tape, registered hooks, the layer
+/// counter, and parameter→variable bindings for the optimizer.
+pub struct Ctx {
+    tape: Tape,
+    hooks: Vec<Rc<dyn ForwardHook>>,
+    layer_index: usize,
+    bindings: Vec<(Param, Var)>,
+    training: bool,
+}
+
+impl Ctx {
+    /// Creates an inference context (no gradient recording, no hooks).
+    pub fn inference() -> Self {
+        Ctx {
+            tape: Tape::inference(),
+            hooks: Vec::new(),
+            layer_index: 0,
+            bindings: Vec::new(),
+            training: false,
+        }
+    }
+
+    /// Creates a training context (gradients recorded).
+    pub fn training() -> Self {
+        Ctx {
+            tape: Tape::new(),
+            hooks: Vec::new(),
+            layer_index: 0,
+            bindings: Vec::new(),
+            training: true,
+        }
+    }
+
+    /// Registers a forward hook.
+    pub fn add_hook(&mut self, hook: Rc<dyn ForwardHook>) -> &mut Self {
+        self.hooks.push(hook);
+        self
+    }
+
+    /// The autograd tape for this pass.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Whether this pass is a training pass (affects batch norm etc.).
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Lifts an input tensor onto the tape.
+    pub fn input(&self, t: Tensor) -> Var {
+        self.tape.leaf(t)
+    }
+
+    /// Lifts a parameter onto the tape, remembering the binding so the
+    /// optimizer can find its gradient later.
+    pub fn var_of(&mut self, p: &Param) -> Var {
+        let v = self.tape.leaf(p.get());
+        self.bindings.push((p.clone(), v.clone()));
+        v
+    }
+
+    /// Lifts a constant tensor (no gradient tracking needed beyond leaf).
+    pub fn constant(&self, t: Tensor) -> Var {
+        self.tape.leaf(t)
+    }
+
+    /// Parameter→variable bindings recorded this pass.
+    pub fn bindings(&self) -> &[(Param, Var)] {
+        &self.bindings
+    }
+
+    /// Number of instrumented layers seen so far this pass.
+    pub fn layers_seen(&self) -> usize {
+        self.layer_index
+    }
+
+    /// Routes a layer output through all applicable hooks (in registration
+    /// order), assigning the layer its execution index.
+    ///
+    /// Hook replacement happens under a straight-through estimator, so a
+    /// training pass backpropagates through the original computation.
+    pub fn hook_output(&mut self, kind: LayerKind, name: &str, out: Var) -> Var {
+        let info = LayerInfo { index: self.layer_index, kind, name: name.to_string() };
+        self.layer_index += 1;
+        let applicable: Vec<Rc<dyn ForwardHook>> = self
+            .hooks
+            .iter()
+            .filter(|h| h.applies_to(kind))
+            .cloned()
+            .collect();
+        if applicable.is_empty() {
+            return out;
+        }
+        out.apply_ste(move |t| {
+            let mut cur: Option<Tensor> = None;
+            for h in &applicable {
+                let view = cur.as_ref().unwrap_or(t);
+                if let Some(replaced) = h.on_output(&info, view) {
+                    cur = Some(replaced);
+                }
+            }
+            cur.unwrap_or_else(|| t.clone())
+        })
+    }
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Ctx(training={}, hooks={}, layers_seen={})",
+            self.training,
+            self.hooks.len(),
+            self.layer_index
+        )
+    }
+}
+
+/// A neural-network module: anything with a forward pass and parameters.
+pub trait Module {
+    /// Computes the module's output.
+    fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var;
+
+    /// Visits every parameter (used by optimizers, weight I/O, and weight
+    /// quantisation).
+    fn visit_params(&self, f: &mut dyn FnMut(&Param));
+
+    /// Collects all parameters into a vector.
+    fn params(&self) -> Vec<Param> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(p.clone()));
+        out
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct DoubleHook;
+    impl ForwardHook for DoubleHook {
+        fn on_output(&self, _l: &LayerInfo, out: &Tensor) -> Option<Tensor> {
+            Some(out.map(|x| x * 2.0))
+        }
+    }
+
+    struct AddOneHook;
+    impl ForwardHook for AddOneHook {
+        fn on_output(&self, _l: &LayerInfo, out: &Tensor) -> Option<Tensor> {
+            Some(out.map(|x| x + 1.0))
+        }
+        fn applies_to(&self, _k: LayerKind) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn param_shared_storage() {
+        let p = Param::new("w", Tensor::zeros([2]));
+        let q = p.clone();
+        p.set(Tensor::ones([2]));
+        assert_eq!(q.get().as_slice(), &[1.0, 1.0]);
+        assert_eq!(p.key(), q.key());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape changed")]
+    fn param_set_shape_mismatch_panics() {
+        Param::new("w", Tensor::zeros([2])).set(Tensor::zeros([3]));
+    }
+
+    #[test]
+    fn hooks_compose_in_order() {
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(Rc::new(DoubleHook));
+        ctx.add_hook(Rc::new(AddOneHook));
+        let x = ctx.input(Tensor::from_vec(vec![3.0], [1]));
+        let y = ctx.hook_output(LayerKind::Conv, "c1", x);
+        // (3*2) + 1 = 7
+        assert_eq!(y.value().as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn hook_kind_filter() {
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(Rc::new(DoubleHook)); // conv/linear only
+        let x = ctx.input(Tensor::from_vec(vec![3.0], [1]));
+        let y = ctx.hook_output(LayerKind::Activation, "relu", x);
+        assert_eq!(y.value().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn layer_indices_count_in_execution_order() {
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::zeros([1]));
+        ctx.hook_output(LayerKind::Conv, "a", x.clone());
+        ctx.hook_output(LayerKind::Linear, "b", x.clone());
+        ctx.hook_output(LayerKind::Conv, "c", x);
+        assert_eq!(ctx.layers_seen(), 3);
+    }
+
+    #[test]
+    fn hooked_training_pass_uses_ste() {
+        let mut ctx = Ctx::training();
+        ctx.add_hook(Rc::new(DoubleHook));
+        let p = Param::new("w", Tensor::from_vec(vec![5.0], [1]));
+        let w = ctx.var_of(&p);
+        let y = ctx.hook_output(LayerKind::Linear, "fc", w.clone());
+        assert_eq!(y.value().as_slice(), &[10.0]);
+        let g = y.sum_all().backward();
+        // STE: gradient passes through the hook unchanged.
+        assert_eq!(g.get(&w).unwrap().as_slice(), &[1.0]);
+    }
+}

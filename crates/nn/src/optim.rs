@@ -1,0 +1,234 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers consume the `(Param, Var)` bindings a [`Ctx`] recorded during
+//! the forward pass plus the [`GradStore`] from `backward()`.
+
+use crate::module::{Ctx, Param};
+use std::collections::HashMap;
+use tensor::{GradStore, Tensor};
+
+/// Stochastic gradient descent with momentum and (decoupled) weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, ctx: &Ctx, grads: &GradStore) {
+        for (param, var) in ctx.bindings() {
+            let Some(g) = grads.get(var) else { continue };
+            let mut g = g.clone();
+            if self.weight_decay != 0.0 {
+                let p = param.get();
+                g = tensor::ops::add(&g, &tensor::ops::scale(&p, self.weight_decay));
+            }
+            let update = if self.momentum != 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(param.key())
+                    .or_insert_with(|| Tensor::zeros(g.shape().clone()));
+                *vel = tensor::ops::add(&tensor::ops::scale(vel, self.momentum), &g);
+                vel.clone()
+            } else {
+                g
+            };
+            apply_update(param, &update, self.lr);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step_count: u64,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Sets the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, ctx: &Ctx, grads: &GradStore) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (param, var) in ctx.bindings() {
+            let Some(g) = grads.get(var) else { continue };
+            let key = param.key();
+            let m = self
+                .m
+                .entry(key)
+                .or_insert_with(|| Tensor::zeros(g.shape().clone()));
+            let v = self
+                .v
+                .entry(key)
+                .or_insert_with(|| Tensor::zeros(g.shape().clone()));
+            for i in 0..g.numel() {
+                let gi = g.as_slice()[i];
+                m.as_mut_slice()[i] = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
+                v.as_mut_slice()[i] = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
+            }
+            let (lr, eps) = (self.lr, self.eps);
+            let (mc, vc) = (m.clone(), v.clone());
+            param.update(|p| {
+                for i in 0..p.numel() {
+                    let mhat = mc.as_slice()[i] / bc1;
+                    let vhat = vc.as_slice()[i] / bc2;
+                    p.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+        }
+    }
+}
+
+fn apply_update(param: &Param, update: &Tensor, lr: f32) {
+    param.update(|p| {
+        for (pv, &u) in p.as_mut_slice().iter_mut().zip(update.as_slice()) {
+            *pv -= lr * u;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::module::Module;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_loss_step(opt: &mut dyn FnMut(&Ctx, &GradStore), p: &Param) -> f32 {
+        // loss = sum(p²): minimum at p = 0.
+        let mut ctx = Ctx::training();
+        let v = ctx.var_of(p);
+        let loss = v.mul(&v).sum_all();
+        let grads = loss.backward();
+        let l = loss.value().item();
+        opt(&ctx, &grads);
+        l
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let p = Param::new("p", Tensor::from_vec(vec![3.0, -2.0], [2]));
+        let mut sgd = Sgd::new(0.1);
+        let first = quadratic_loss_step(&mut |c, g| sgd.step(c, g), &p);
+        let mut last = first;
+        for _ in 0..30 {
+            last = quadratic_loss_step(&mut |c, g| sgd.step(c, g), &p);
+        }
+        assert!(last < first * 1e-3, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| {
+            let p = Param::new("p", Tensor::from_vec(vec![3.0], [1]));
+            let mut sgd = Sgd::new(0.01).with_momentum(momentum);
+            let mut last = 0.0;
+            for _ in 0..20 {
+                last = quadratic_loss_step(&mut |c, g| sgd.step(c, g), &p);
+            }
+            last
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let p = Param::new("p", Tensor::from_vec(vec![3.0, -2.0], [2]));
+        let mut adam = Adam::new(0.3);
+        let first = quadratic_loss_step(&mut |c, g| adam.step(c, g), &p);
+        let mut last = first;
+        for _ in 0..60 {
+            last = quadratic_loss_step(&mut |c, g| adam.step(c, g), &p);
+        }
+        assert!(last < first * 1e-2, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let p = Param::new("p", Tensor::from_vec(vec![1.0], [1]));
+        let mut sgd = Sgd::new(0.1).with_weight_decay(0.5);
+        // Zero-gradient loss: only decay acts.
+        let mut ctx = Ctx::training();
+        let v = ctx.var_of(&p);
+        let loss = v.scale(0.0).sum_all();
+        let grads = loss.backward();
+        sgd.step(&ctx, &grads);
+        assert!(p.get().item() < 1.0);
+    }
+
+    #[test]
+    fn training_a_real_layer_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let fc = Linear::new("fc", 4, 2, true, &mut rng);
+        let x = Tensor::randn([8, 4], &mut rng);
+        let targets: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let mut adam = Adam::new(0.05);
+        let mut losses = Vec::new();
+        for _ in 0..40 {
+            let mut ctx = Ctx::training();
+            let xv = ctx.input(x.clone());
+            let logits = fc.forward(&xv, &mut ctx);
+            let loss = logits.cross_entropy(&targets);
+            let grads = loss.backward();
+            losses.push(loss.value().item());
+            adam.step(&ctx, &grads);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss {} → {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+}

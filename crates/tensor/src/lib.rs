@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # tensor — the FP32 compute-fabric substrate
+//!
+//! A small, dependency-light dense tensor library providing the "hardware"
+//! number system (IEEE-754 `f32`) on top of which goldeneye-rs emulates
+//! arbitrary number formats, exactly as the paper emulates formats on top of
+//! the GPU's native FP32.
+//!
+//! Provides:
+//!
+//! - [`Tensor`]: contiguous row-major `f32` tensors with broadcasting
+//!   elementwise ops, reductions, and shape manipulation ([`ops`]);
+//! - [`linalg`]: blocked SGEMM and batched matmul;
+//! - [`conv`]: im2col convolution and pooling with explicit backward passes;
+//! - [`autograd`]: a tape ([`Tape`]/[`Var`]) for reverse-mode
+//!   differentiation, including a straight-through-estimator hook
+//!   ([`Var::apply_ste`]) so quantisers can participate in training.
+//!
+//! # Examples
+//!
+//! ```
+//! use tensor::{Tensor, ops};
+//! let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]);
+//! let y = ops::relu(&x);
+//! assert_eq!(y.as_slice(), &[1.0, 0.0, 3.0]);
+//! ```
+
+pub mod autograd;
+pub mod conv;
+pub mod linalg;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use autograd::{GradStore, Tape, Var};
+pub use conv::Conv2dSpec;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,225 @@
+//! Shape arithmetic: dimension bookkeeping, row-major strides, and
+//! NumPy-style broadcasting rules.
+
+use std::fmt;
+
+/// The shape of a tensor: one extent per dimension, outermost first.
+///
+/// A scalar has an empty shape. Shapes are stored row-major, so the last
+/// dimension is contiguous in memory.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents, outermost first.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The scalar shape (zero dimensions, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extents as a slice, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides (in elements, not bytes) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong arity or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "index arity {} does not match shape {:?}",
+            idx.len(),
+            self
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            assert!(
+                idx[i] < self.0[i],
+                "index {:?} out of bounds for shape {:?}",
+                idx,
+                self
+            );
+            off += idx[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.numel()`.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        assert!(
+            offset < self.numel().max(1),
+            "offset {} out of bounds for shape {:?}",
+            offset,
+            self
+        );
+        let mut idx = vec![0; self.0.len()];
+        for (i, v) in idx.iter_mut().enumerate().rev() {
+            *v = offset % self.0[i];
+            offset /= self.0[i];
+        }
+        idx
+    }
+
+    /// Computes the broadcast shape of `a` and `b` under NumPy rules:
+    /// dimensions are aligned from the right; extents must match or one of
+    /// them must be 1.
+    ///
+    /// Returns `None` if the shapes are incompatible.
+    pub fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
+        let n = a.ndim().max(b.ndim());
+        let mut out = vec![0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let da = if i < n - a.ndim() { 1 } else { a.0[i - (n - a.ndim())] };
+            let db = if i < n - b.ndim() { 1 } else { b.0[i - (n - b.ndim())] };
+            if da == db || db == 1 {
+                *o = da;
+            } else if da == 1 {
+                *o = db;
+            } else {
+                return None;
+            }
+        }
+        Some(Shape(out))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_and_unravel_roundtrip() {
+        let s = Shape::new(vec![2, 3, 4]);
+        for flat in 0..s.numel() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn offset_last_dim_contiguous() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 1]), 1);
+        assert_eq!(s.offset(&[1, 0]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::new(vec![2, 3]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        let a = Shape::new(vec![2, 3]);
+        let b = Shape::new(vec![3]);
+        assert_eq!(Shape::broadcast(&a, &b), Some(Shape::new(vec![2, 3])));
+        let c = Shape::new(vec![2, 1]);
+        assert_eq!(Shape::broadcast(&a, &c), Some(Shape::new(vec![2, 3])));
+        let d = Shape::new(vec![4]);
+        assert_eq!(Shape::broadcast(&a, &d), None);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::new(vec![2, 3]);
+        assert_eq!(
+            Shape::broadcast(&a, &Shape::scalar()),
+            Some(Shape::new(vec![2, 3]))
+        );
+    }
+
+    #[test]
+    fn numel_scalar_is_one() {
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The dense `f32` tensor type used throughout goldeneye-rs.
+//!
+//! Tensors are always contiguous and row-major; operations allocate new
+//! tensors. This keeps the semantics simple and matches the "compute fabric"
+//! role the tensor plays in the paper: a plain FP32 substrate on top of
+//! which number formats are emulated.
+
+use crate::shape::Shape;
+use rand::Rng;
+use std::fmt;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// # Examples
+///
+/// ```
+/// use tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.sum_all(), 10.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer of {} elements does not fit shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a scalar (0-dimensional) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// Creates a tensor of iid standard-normal samples (Box–Muller).
+    pub fn randn(shape: impl Into<Shape>, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor of iid uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a 1-d tensor `[0, 1, ..., n-1]`.
+    pub fn arange(n: usize) -> Self {
+        Tensor::from_vec((0..n).map(|i| i as f32).collect(), [n])
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The extents as a slice, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.ndim()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has wrong arity.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the value at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has wrong arity.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min_all(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Maximum absolute value (0.0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// True if `self` and `other` agree elementwise within `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol + tol * b.abs())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, ... {:.4}] n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1],
+                self.numel()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_and_at() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit shape")]
+    fn from_vec_wrong_len_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], [3]);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros([2, 2]).sum_all(), 0.0);
+        assert_eq!(Tensor::ones([2, 2]).sum_all(), 4.0);
+        assert_eq!(Tensor::full([3], 2.5).sum_all(), 7.5);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = Tensor::randn([4, 4], &mut r1);
+        let b = Tensor::randn([4, 4], &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn randn_has_roughly_unit_stats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::randn([10_000], &mut rng);
+        let mean = t.mean_all();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean_all();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::arange(6).reshape([2, 3]);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn map_and_reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 2.0, -3.0], [3]);
+        assert_eq!(t.map(f32::abs).sum_all(), 6.0);
+        assert_eq!(t.max_all(), 2.0);
+        assert_eq!(t.min_all(), -3.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.mean_all(), (-2.0) / 3.0);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_error() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0 - 1e-7], [2]);
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&Tensor::from_vec(vec![1.1, 2.0], [2]), 1e-5));
+    }
+
+    #[test]
+    fn item_scalar() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+}

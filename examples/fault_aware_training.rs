@@ -1,0 +1,66 @@
+//! Fault-aware training (paper §V-D): inject bit flips into layer outputs
+//! *during training* so the model learns under its inference-time fault
+//! model, then compare the resulting resilience against a conventionally
+//! trained twin.
+//!
+//! Run with: `cargo run --release --example fault_aware_training`
+
+use goldeneye::{run_campaign, CampaignConfig, FaultyTrainingHook, GoldenEye};
+use inject::SiteKind;
+use models::{ResNet, ResNetConfig, SyntheticDataset};
+use nn::{Adam, Ctx, Module};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+/// Trains a fresh tiny ResNet; `fault_prob > 0` makes it fault-aware.
+fn train_variant(fault_prob: f64, data: &SyntheticDataset) -> ResNet {
+    let mut rng = StdRng::seed_from_u64(40);
+    let model = ResNet::new(ResNetConfig::tiny(8), &mut rng);
+    let mut opt = Adam::new(3e-3);
+    let mut shuffle = StdRng::seed_from_u64(41);
+    let mut fault_seed = 100u64;
+    for _ in 0..10 {
+        for (x, y) in data.shuffled_batches(16, &mut shuffle) {
+            let mut ctx = Ctx::training();
+            if fault_prob > 0.0 {
+                fault_seed += 1;
+                ctx.add_hook(Rc::new(
+                    FaultyTrainingHook::parse("int:8", fault_prob, fault_seed)
+                        .expect("valid spec"),
+                ));
+            }
+            let xv = ctx.input(x);
+            let logits = model.forward(&xv, &mut ctx);
+            let loss = logits.cross_entropy(&y);
+            let grads = loss.backward();
+            opt.step(&ctx, &grads);
+        }
+    }
+    model
+}
+
+fn main() {
+    let data = SyntheticDataset::generate(128, 16, 4, 42);
+    println!("training a conventional model and a fault-aware twin (int:8, p=0.3)...");
+    let clean = train_variant(0.0, &data);
+    let hardened = train_variant(0.3, &data);
+
+    let ge = GoldenEye::parse("int:8").expect("valid spec");
+    let (x, y) = data.head_batch(16);
+    let cfg = CampaignConfig { injections_per_layer: 40, kind: SiteKind::Value, seed: 7 };
+    println!("\n{:<16} {:>12} {:>16}", "model", "accuracy", "avg dLoss (EI)");
+    for (name, model) in [("conventional", &clean), ("fault-aware", &hardened)] {
+        let acc = goldeneye::evaluate_accuracy(&ge, model, &data, 64, 32);
+        let campaign = run_campaign(&ge, model, &x, &y, &cfg);
+        println!(
+            "{:<16} {:>11.1}% {:>16.4}",
+            name,
+            acc * 100.0,
+            campaign.avg_delta_loss()
+        );
+    }
+    println!("\nTraining through injected faults regularises the network toward");
+    println!("fault-tolerant representations — the resilient-training routine");
+    println!("the paper proposes GoldenEye for (§V-D).");
+}

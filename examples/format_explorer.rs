@@ -1,0 +1,57 @@
+//! Design-space exploration (paper §IV-B): the binary-tree heuristic
+//! searches each format family for the cheapest configuration that keeps
+//! accuracy within a threshold of the FP32 baseline.
+//!
+//! Run with: `cargo run --release --example format_explorer`
+
+use goldeneye::dse::{search, DseFamily};
+use goldeneye::{evaluate_accuracy, GoldenEye};
+use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = ResNet::new(ResNetConfig::tiny(8), &mut rng);
+    let data = SyntheticDataset::generate(128, 16, 4, 6);
+    println!("training...");
+    train(
+        &model,
+        &data,
+        &TrainConfig { epochs: 8, batch_size: 16, lr: 3e-3, ..Default::default() },
+    );
+    let baseline = models::evaluate(&model, &data, 64, 32);
+    println!("baseline FP32 accuracy: {:.1}%\n", baseline * 100.0);
+
+    for (label, family) in [
+        ("FP", DseFamily::Fp),
+        ("FxP", DseFamily::Fxp),
+        ("INT", DseFamily::Int),
+        ("BFP(b16)", DseFamily::Bfp { block: 16 }),
+        ("AFP", DseFamily::Afp),
+    ] {
+        let result = search(
+            family,
+            |spec| {
+                let ge = GoldenEye::new(spec.build());
+                evaluate_accuracy(&ge, &model, &data, 64, 32)
+            },
+            baseline,
+            0.05,
+        );
+        println!("{label}: visited {} nodes", result.nodes.len());
+        for n in &result.nodes {
+            println!(
+                "  node {:>2}: {:<16} acc {:>5.1}%  {}",
+                n.index,
+                n.spec.to_string(),
+                n.accuracy * 100.0,
+                if n.accepted { "ok" } else { "reject" }
+            );
+        }
+        match result.best {
+            Some(best) => println!("  → suggested design point: {best}\n"),
+            None => println!("  → no acceptable configuration\n"),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the goldeneye-rs workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can use a
+//! single dependency. Library users should depend on the individual crates
+//! (most importantly [`goldeneye`]) directly.
+
+pub use formats;
+pub use goldeneye;
+pub use inject;
+pub use metrics;
+pub use models;
+pub use nn;
+pub use tensor;

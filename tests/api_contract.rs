@@ -1,0 +1,178 @@
+//! Integration tests of the paper's §III-B API contract across all five
+//! number-format families, including property-based invariants.
+
+use formats::{
+    AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, FormatSpec, IntQuant,
+    NumberFormat,
+};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+fn all_formats() -> Vec<Box<dyn NumberFormat>> {
+    vec![
+        Box::new(FloatingPoint::new(4, 3)),
+        Box::new(FloatingPoint::new(5, 10).with_denormals(false)),
+        Box::new(FixedPoint::new(3, 4)),
+        Box::new(IntQuant::new(8)),
+        Box::new(BlockFloatingPoint::new(5, 5, 4)),
+        Box::new(AdaptivFloat::new(4, 3)),
+    ]
+}
+
+#[test]
+fn method1_then_method2_is_stable() {
+    // Method 1 (quantise) followed by Method 2 (decode) must be a fixed
+    // point: re-quantising the decoded tensor changes nothing.
+    let x = Tensor::from_vec(vec![0.17, -2.4, 0.0, 11.0, -0.003, 5e-4, 100.0, -63.0], [8]);
+    for f in all_formats() {
+        let q1 = f.real_to_format_tensor(&x);
+        let real = f.format_to_real_tensor(&q1);
+        let q2 = f.real_to_format_tensor(&real);
+        assert_eq!(q1.values, q2.values, "{} not idempotent", f.name());
+    }
+}
+
+#[test]
+fn methods_3_and_4_roundtrip_on_quantized_values() {
+    let x = Tensor::from_vec(vec![0.17, -2.4, 0.0, 11.0, -0.003, 5e-4, 100.0, -63.0], [8]);
+    for f in all_formats() {
+        let q = f.real_to_format_tensor(&x);
+        for i in 0..x.numel() {
+            let v = q.values.as_slice()[i];
+            let bits = f.real_to_format(v, &q.meta, i);
+            assert_eq!(bits.len() as u32, f.bit_width(), "{} bit width", f.name());
+            let back = f.format_to_real(&bits, &q.meta, i);
+            let tol = v.abs() * 1e-6;
+            assert!(
+                (back - v).abs() <= tol,
+                "{}: element {i} {v} -> {back}",
+                f.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantization_error_bounded_by_dynamic_range() {
+    // Every in-range value quantises to within one representable step;
+    // in particular the quantised value never exceeds the format max.
+    let x = Tensor::from_vec(vec![0.5, -0.25, 3.0, -1.5], [4]);
+    for f in all_formats() {
+        let q = f.real_to_format_tensor(&x);
+        let max = f.dynamic_range().max_abs as f32;
+        for &v in q.values.as_slice() {
+            assert!(v.abs() <= max * 1.0001, "{}: {v} beyond max {max}", f.name());
+        }
+    }
+}
+
+#[test]
+fn spec_strings_cover_all_families() {
+    for s in ["fp:e4m3", "fxp:1:3:4", "int:8", "bfp:e5m5:b4", "afp:e4m3"] {
+        let spec: FormatSpec = s.parse().unwrap();
+        let f = spec.build();
+        let x = Tensor::from_vec(vec![1.0, -1.0], [2]);
+        let q = f.real_to_format_tensor(&x);
+        assert_eq!(q.values.numel(), 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantisation is idempotent for arbitrary finite inputs.
+    #[test]
+    fn prop_quantize_idempotent(values in prop::collection::vec(-1e6f32..1e6, 1..32)) {
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        for f in all_formats() {
+            let q1 = f.real_to_format_tensor(&x);
+            let q2 = f.real_to_format_tensor(&q1.values);
+            prop_assert_eq!(&q1.values, &q2.values, "{} not idempotent", f.name());
+        }
+    }
+
+    /// Quantisation preserves sign (or maps to zero).
+    #[test]
+    fn prop_quantize_preserves_sign(values in prop::collection::vec(-1e4f32..1e4, 1..16)) {
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        for f in all_formats() {
+            let q = f.real_to_format_tensor(&x);
+            for (i, (&orig, &quant)) in values.iter().zip(q.values.as_slice()).enumerate() {
+                prop_assert!(
+                    quant == 0.0 || (quant > 0.0) == (orig > 0.0),
+                    "{}: element {i} {orig} -> {quant}", f.name()
+                );
+            }
+        }
+    }
+
+    /// Quantisation is monotone: x <= y implies q(x) <= q(y) within a
+    /// shared tensor (same metadata).
+    #[test]
+    fn prop_quantize_monotone(a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let x = Tensor::from_vec(vec![lo, hi], [2]);
+        for f in all_formats() {
+            let q = f.real_to_format_tensor(&x);
+            prop_assert!(
+                q.values.as_slice()[0] <= q.values.as_slice()[1],
+                "{}: q({lo}) > q({hi})", f.name()
+            );
+        }
+    }
+
+    /// A double flip of the same bit restores the original value.
+    #[test]
+    fn prop_flip_twice_is_identity(
+        values in prop::collection::vec(-100.0f32..100.0, 4..8),
+        element_seed in 0usize..1000,
+        bit_seed in 0usize..1000,
+    ) {
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        for f in all_formats() {
+            let mut q = f.real_to_format_tensor(&x);
+            let orig = q.values.clone();
+            let element = element_seed % q.values.numel();
+            let bit = bit_seed % f.bit_width() as usize;
+            let first = inject::flip_value(f.as_ref(), &mut q, element, bit);
+            // A flip is value-reversible only if re-encoding the corrupted
+            // value reproduces the flipped bit pattern (flips into the
+            // reserved Inf/NaN exponent, or into flushed denormals, are
+            // canonicalised by Method 3 and lose the original pattern).
+            let expected_bits = f
+                .real_to_format(first.old, &q.meta, element)
+                .with_flip(bit);
+            if f.real_to_format(first.new, &q.meta, element) != expected_bits {
+                continue;
+            }
+            inject::flip_value(f.as_ref(), &mut q, element, bit);
+            prop_assert_eq!(&q.values, &orig, "{}: flip({},{}) twice", f.name(), element, bit);
+        }
+    }
+
+    /// Value flips never touch other elements.
+    #[test]
+    fn prop_flip_is_local(
+        values in prop::collection::vec(-100.0f32..100.0, 4..8),
+        element_seed in 0usize..1000,
+        bit_seed in 0usize..1000,
+    ) {
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        for f in all_formats() {
+            let mut q = f.real_to_format_tensor(&x);
+            let orig = q.values.clone();
+            let element = element_seed % q.values.numel();
+            let bit = bit_seed % f.bit_width() as usize;
+            inject::flip_value(f.as_ref(), &mut q, element, bit);
+            for i in 0..orig.numel() {
+                if i != element {
+                    prop_assert_eq!(
+                        q.values.as_slice()[i],
+                        orig.as_slice()[i],
+                        "{}: flip({},{}) leaked to {}", f.name(), element, bit, i
+                    );
+                }
+            }
+        }
+    }
+}

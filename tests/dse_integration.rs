@@ -1,0 +1,73 @@
+//! Integration test of use case B: the binary-tree DSE heuristic driving
+//! real emulated evaluations on a trained model.
+
+use goldeneye::dse::{search, DseFamily};
+use goldeneye::{evaluate_accuracy, GoldenEye};
+use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained() -> (ResNet, SyntheticDataset, f32) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = ResNet::new(ResNetConfig::tiny(8), &mut rng);
+    let data = SyntheticDataset::generate(96, 16, 4, 29);
+    train(
+        &model,
+        &data,
+        &TrainConfig { epochs: 8, batch_size: 16, lr: 3e-3, ..Default::default() },
+    );
+    let baseline = models::evaluate(&model, &data, 48, 16);
+    (model, data, baseline)
+}
+
+#[test]
+fn dse_on_real_model_stays_within_16_nodes_and_respects_threshold() {
+    let (model, data, baseline) = trained();
+    assert!(baseline > 0.5, "training failed: {baseline}");
+    for family in [DseFamily::Int, DseFamily::Fp, DseFamily::Bfp { block: 16 }] {
+        let result = search(
+            family,
+            |spec| {
+                let ge = GoldenEye::new(spec.build());
+                evaluate_accuracy(&ge, &model, &data, 48, 16)
+            },
+            baseline,
+            0.10,
+        );
+        assert!(result.nodes.len() <= 16, "{family:?}: {} nodes", result.nodes.len());
+        assert!(!result.nodes.is_empty());
+        // If the search proposes a design point, its measured accuracy must
+        // meet the threshold.
+        if let Some(best) = &result.best {
+            let ge = GoldenEye::new(best.build());
+            let acc = evaluate_accuracy(&ge, &model, &data, 48, 16);
+            assert!(
+                acc >= result.threshold,
+                "{family:?}: best {best} re-measures at {acc} < {}",
+                result.threshold
+            );
+        }
+        // Wide formats always pass (32-bit root accepted).
+        assert!(result.nodes[0].accepted, "{family:?}: 32-bit root rejected");
+    }
+}
+
+#[test]
+fn dse_suggests_narrower_formats_than_fp32() {
+    let (model, data, baseline) = trained();
+    let result = search(
+        DseFamily::Int,
+        |spec| {
+            let ge = GoldenEye::new(spec.build());
+            evaluate_accuracy(&ge, &model, &data, 48, 16)
+        },
+        baseline,
+        0.10,
+    );
+    let best = result.best.expect("INT should be viable at some width");
+    if let formats::FormatSpec::Int { bits } = best {
+        assert!(bits < 32, "DSE failed to shrink below 32 bits");
+    } else {
+        panic!("unexpected family from INT search: {best}");
+    }
+}
