@@ -34,11 +34,8 @@ fn fig3(c: &mut Criterion) {
         ("afp:e4m3", SiteKind::Metadata),
     ] {
         let ge = GoldenEye::parse(spec).unwrap();
-        let label = format!(
-            "{}+EI{}",
-            spec,
-            if kind == SiteKind::Metadata { "-metadata" } else { "" }
-        );
+        let label =
+            format!("{}+EI{}", spec, if kind == SiteKind::Metadata { "-metadata" } else { "" });
         let mut seed = 0u64;
         group.bench_with_input(BenchmarkId::new("inject", label), &x, |b, x| {
             b.iter(|| {

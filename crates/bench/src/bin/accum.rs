@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p bench --bin accum`
 
-use formats::{FloatingPoint, FixedPoint, NumberFormat, Posit};
+use formats::{FixedPoint, FloatingPoint, NumberFormat, Posit};
 use goldeneye::accum::accumulation_error_study;
 
 fn main() {

@@ -17,9 +17,7 @@ fn main() {
     let probe = GoldenEye::parse("fp16").expect("valid spec");
     let layers = probe.discover_layers(model.as_ref(), x.clone());
     let target = layers[1].index;
-    println!(
-        "Per-bit-position delta-loss at layer {target} ({trials} trials/bit, batch 8)\n"
-    );
+    println!("Per-bit-position delta-loss at layer {target} ({trials} trials/bit, batch 8)\n");
     for spec in ["fp:e5m10", "bfp:e5m10:tensor", "int:16", "fxp:1:7:8"] {
         let ge = GoldenEye::parse(spec).expect("valid spec");
         let res = bit_position_campaign(&ge, model.as_ref(), &x, &y, target, trials, 5);

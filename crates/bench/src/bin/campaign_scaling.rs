@@ -1,0 +1,69 @@
+//! Campaign-executor scaling: wall-clock of the same fault-injection
+//! campaign at 1, 2, 4, … worker threads, verifying both the speedup and
+//! the bit-identical-results contract of `goldeneye::run_campaign` /
+//! `run_weight_campaign`.
+//!
+//! Trials are independent inferences, so the campaign is embarrassingly
+//! parallel; the executor's only serial parts are layer discovery, the
+//! golden run, and the statistics fold.
+//!
+//! Run with: `cargo run --release -p bench --bin campaign_scaling
+//! [--injections N] [--jobs MAX]`
+
+use bench::{prepare_model, test_set, BenchArgs, ModelKind};
+use goldeneye::{run_campaign, run_weight_campaign, CampaignConfig, CampaignResult, GoldenEye};
+use inject::SiteKind;
+use std::time::Instant;
+
+fn layer_means(r: &CampaignResult) -> Vec<(f32, f32)> {
+    r.layers.iter().map(|l| (l.delta_loss.mean(), l.mismatch.mean())).collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = args.injections_per_layer(20);
+    let max_jobs = if args.jobs <= 1 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        args.jobs
+    };
+    let (model, _) = prepare_model(ModelKind::Resnet18);
+    let (x, y) = test_set().head_batch(8);
+    let ge = GoldenEye::parse("fp:e4m3").expect("valid spec");
+
+    println!("Campaign scaling ({n} injections/layer, resnet18, fp:e4m3)\n");
+    println!(
+        "{:<24} {:>6} {:>10} {:>9} {:>10}",
+        "campaign", "jobs", "seconds", "speedup", "identical"
+    );
+    for (label, weight) in [("activation (value)", false), ("weight", true)] {
+        let mut reference: Option<(Vec<(f32, f32)>, f64)> = None;
+        let mut jobs = 1usize;
+        while jobs <= max_jobs {
+            let cfg =
+                CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 17, jobs };
+            let t = Instant::now();
+            let result = if weight {
+                run_weight_campaign(&ge, model.as_ref(), &x, &y, &cfg)
+            } else {
+                run_campaign(&ge, model.as_ref(), &x, &y, &cfg)
+            };
+            let secs = t.elapsed().as_secs_f64();
+            let means = layer_means(&result);
+            let (identical, speedup) = match &reference {
+                None => {
+                    reference = Some((means, secs));
+                    (true, 1.0)
+                }
+                Some((ref_means, ref_secs)) => (*ref_means == means, ref_secs / secs),
+            };
+            println!(
+                "{label:<24} {jobs:>6} {secs:>10.2} {speedup:>8.2}x {:>10}",
+                if identical { "yes" } else { "NO" }
+            );
+            assert!(identical, "parallel campaign diverged from serial results");
+            jobs *= 2;
+        }
+        println!();
+    }
+}

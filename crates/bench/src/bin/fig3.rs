@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release -p bench --bin fig3 [--full]`
 
 use bench::{prepare_model, test_set, BenchArgs, ModelKind};
-use goldeneye::{GoldenEye, InjectionPlan};
+use goldeneye::{run_campaign, CampaignConfig, GoldenEye, InjectionPlan};
 use inject::SiteKind;
 use nn::Module;
 use std::time::Instant;
@@ -36,11 +36,23 @@ const CONFIGS: &[Config] = &[
     Config { label: "int8 +EI", spec: Some("int:8"), injection: Some(SiteKind::Value) },
     Config { label: "int8 +EI-metadata", spec: Some("int:8"), injection: Some(SiteKind::Metadata) },
     Config { label: "bfp_e8m7_b16", spec: Some("bfp:e8m7:b16"), injection: None },
-    Config { label: "bfp_e8m7_b16 +EI", spec: Some("bfp:e8m7:b16"), injection: Some(SiteKind::Value) },
-    Config { label: "bfp_e8m7_b16 +EI-metadata", spec: Some("bfp:e8m7:b16"), injection: Some(SiteKind::Metadata) },
+    Config {
+        label: "bfp_e8m7_b16 +EI",
+        spec: Some("bfp:e8m7:b16"),
+        injection: Some(SiteKind::Value),
+    },
+    Config {
+        label: "bfp_e8m7_b16 +EI-metadata",
+        spec: Some("bfp:e8m7:b16"),
+        injection: Some(SiteKind::Metadata),
+    },
     Config { label: "afp_e4m3", spec: Some("afp:e4m3"), injection: None },
     Config { label: "afp_e4m3 +EI", spec: Some("afp:e4m3"), injection: Some(SiteKind::Value) },
-    Config { label: "afp_e4m3 +EI-metadata", spec: Some("afp:e4m3"), injection: Some(SiteKind::Metadata) },
+    Config {
+        label: "afp_e4m3 +EI-metadata",
+        spec: Some("afp:e4m3"),
+        injection: Some(SiteKind::Metadata),
+    },
 ];
 
 fn time_config(model: &dyn Module, x: &Tensor, cfg: &Config, runs: usize) -> (f64, f64, f64) {
@@ -88,10 +100,8 @@ fn main() {
         let (x, _) = test_set().head_batch(batch);
         // Measure everything first; report ratios against the native row
         // from the same pass (median is robust to scheduler noise).
-        let measured: Vec<(f64, f64, f64)> = CONFIGS
-            .iter()
-            .map(|cfg| time_config(model.as_ref(), &x, cfg, runs))
-            .collect();
+        let measured: Vec<(f64, f64, f64)> =
+            CONFIGS.iter().map(|cfg| time_config(model.as_ref(), &x, cfg, runs)).collect();
         let native_ms = measured[0].0;
         println!("== {} ==", kind.name());
         println!(
@@ -112,4 +122,29 @@ fn main() {
     }
     println!("Expected shape (paper): native fastest; FP/FxP/INT near native;");
     println!("BFP/AFP slower (metadata path); +EI and +EI-metadata ~free.");
+
+    // Campaign throughput: the paper's speedups come from batching many
+    // independent faulty inferences; here the lever is `--jobs N` worker
+    // threads (identical results, see `goldeneye::run_campaign`).
+    if args.jobs != 1 {
+        let (model, _) = prepare_model(ModelKind::Resnet18);
+        let (x, y) = test_set().head_batch(8);
+        let ge = GoldenEye::parse("fp:e4m3").expect("valid spec");
+        let n = args.injections_per_layer(10);
+        let mut cfg =
+            CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 3, jobs: 1 };
+        println!("\nCampaign throughput ({n} injections/layer, resnet18):");
+        let t = Instant::now();
+        run_campaign(&ge, model.as_ref(), &x, &y, &cfg);
+        let serial = t.elapsed().as_secs_f64();
+        cfg.jobs = args.jobs;
+        let t = Instant::now();
+        run_campaign(&ge, model.as_ref(), &x, &y, &cfg);
+        let parallel = t.elapsed().as_secs_f64();
+        println!(
+            "  jobs=1: {serial:.2}s   jobs={}: {parallel:.2}s   speedup {:.2}x",
+            args.jobs,
+            serial / parallel
+        );
+    }
 }

@@ -21,10 +21,7 @@ const LADDERS: &[(&str, &[&str])] = &[
     ("FP", &["fp:e8m23", "fp:e5m10", "fp:e4m7", "fp:e4m3", "fp:e2m5", "fp:e2m5:nodn", "fp:e2m1"]),
     ("FxP", &["fxp:1:15:16", "fxp:1:7:8", "fxp:1:5:6", "fxp:1:3:4", "fxp:1:1:2"]),
     ("INT", &["int:32", "int:16", "int:12", "int:8", "int:4"]),
-    (
-        "BFP",
-        &["bfp:e8m23:b16", "bfp:e8m15:b16", "bfp:e8m11:b16", "bfp:e8m7:b16", "bfp:e8m3:b16"],
-    ),
+    ("BFP", &["bfp:e8m23:b16", "bfp:e8m15:b16", "bfp:e8m11:b16", "bfp:e8m7:b16", "bfp:e8m3:b16"]),
     ("AFP", &["afp:e8m23", "afp:e5m10", "afp:e4m7", "afp:e4m3", "afp:e2m5", "afp:e2m1"]),
 ];
 

@@ -34,19 +34,32 @@ fn main() {
                 model.as_ref(),
                 &x,
                 &y,
-                &CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 7 },
+                &CampaignConfig {
+                    injections_per_layer: n,
+                    kind: SiteKind::Value,
+                    seed: 7,
+                    jobs: 1,
+                },
             );
             let meta = run_campaign(
                 &ge,
                 model.as_ref(),
                 &x,
                 &y,
-                &CampaignConfig { injections_per_layer: n, kind: SiteKind::Metadata, seed: 7 },
+                &CampaignConfig {
+                    injections_per_layer: n,
+                    kind: SiteKind::Metadata,
+                    seed: 7,
+                    jobs: 1,
+                },
             );
             for (v, m) in value.layers.iter().zip(&meta.layers) {
                 println!(
                     "{:<6} {:<22} {:>14.4} {:>16.4}",
-                    v.layer, v.name, v.delta_loss.mean(), m.delta_loss.mean()
+                    v.layer,
+                    v.name,
+                    v.delta_loss.mean(),
+                    m.delta_loss.mean()
                 );
             }
             println!(

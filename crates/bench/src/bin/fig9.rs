@@ -7,16 +7,17 @@
 //! points exist in the top-left corner, and newer formats (AFP) reach them
 //! at lower precision.
 //!
-//! Run with: `cargo run --release -p bench --bin fig9 [--injections N]`
+//! Run with: `cargo run --release -p bench --bin fig9 [--injections N] [--jobs N]`
 
 use bench::{prepare_model, test_set, BenchArgs, ModelKind, TEST_N};
-use goldeneye::dse::{search, DseFamily};
-use goldeneye::{evaluate_accuracy, run_campaign, CampaignConfig, GoldenEye};
+use goldeneye::dse::{accuracy_eval, search, DseFamily};
+use goldeneye::{run_campaign, CampaignConfig, GoldenEye};
 use inject::SiteKind;
 
 fn main() {
     let args = BenchArgs::parse();
     let n = args.injections_per_layer(10);
+    let jobs = args.jobs;
     let data = test_set();
     let (model, baseline) = prepare_model(ModelKind::Resnet50);
     let (x, y) = data.head_batch(8);
@@ -31,15 +32,8 @@ fn main() {
         "format", "bits", "accuracy", "dLoss(value)", "dLoss(metadata)"
     );
     for family in [DseFamily::Bfp { block: usize::MAX }, DseFamily::Afp] {
-        let result = search(
-            family,
-            |spec| {
-                let ge = GoldenEye::new(spec.build());
-                evaluate_accuracy(&ge, model.as_ref(), &data, TEST_N, 32)
-            },
-            baseline,
-            0.05,
-        );
+        let result =
+            search(family, accuracy_eval(model.as_ref(), &data, TEST_N, 32, jobs), baseline, 0.05);
         for node in result.accepted_nodes() {
             let ge = GoldenEye::new(node.spec.build());
             let value = run_campaign(
@@ -47,14 +41,19 @@ fn main() {
                 model.as_ref(),
                 &x,
                 &y,
-                &CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 9 },
+                &CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 9, jobs },
             );
             let meta = run_campaign(
                 &ge,
                 model.as_ref(),
                 &x,
                 &y,
-                &CampaignConfig { injections_per_layer: n, kind: SiteKind::Metadata, seed: 9 },
+                &CampaignConfig {
+                    injections_per_layer: n,
+                    kind: SiteKind::Metadata,
+                    seed: 9,
+                    jobs,
+                },
             );
             println!(
                 "{:<18} {:>6} {:>9.1}% {:>14.4} {:>16.4}",

@@ -8,16 +8,15 @@ use bench::{prepare_model, test_set, ModelKind};
 use formats::footprint::footprint;
 use formats::FormatSpec;
 use nn::{Ctx, ForwardHook, LayerInfo, LayerKind};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tensor::Tensor;
 
 /// Captures every instrumented layer output of one inference.
-struct Capture(RefCell<Vec<Tensor>>);
+struct Capture(Mutex<Vec<Tensor>>);
 
 impl ForwardHook for Capture {
     fn on_output(&self, _l: &LayerInfo, out: &Tensor) -> Option<Tensor> {
-        self.0.borrow_mut().push(out.clone());
+        self.0.lock().unwrap().push(out.clone());
         None
     }
     fn applies_to(&self, kind: LayerKind) -> bool {
@@ -28,12 +27,12 @@ impl ForwardHook for Capture {
 fn main() {
     let (model, _) = prepare_model(ModelKind::Resnet18);
     let (x, _) = test_set().head_batch(8);
-    let cap = Rc::new(Capture(RefCell::new(Vec::new())));
+    let cap = Arc::new(Capture(Mutex::new(Vec::new())));
     let mut ctx = Ctx::inference();
     ctx.add_hook(cap.clone());
     let xv = ctx.input(x);
     model.forward(&xv, &mut ctx);
-    let activations = cap.0.borrow();
+    let activations = cap.0.lock().unwrap();
     let elements: u64 = activations.iter().map(|t| t.numel() as u64).sum();
     println!(
         "Activation storage for one resnet18 inference batch ({} tensors, {} elements)\n",

@@ -5,9 +5,7 @@
 //! `target/goldeneye_cache/`, so repeated `cargo run -p bench --bin figN`
 //! invocations reuse the same "pretrained" weights.
 
-use models::{
-    DeitConfig, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer,
-};
+use models::{DeitConfig, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer};
 use nn::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,18 +127,24 @@ pub struct BenchArgs {
     pub full: bool,
     /// `--injections N`: override the per-layer injection count.
     pub injections: Option<usize>,
+    /// `--jobs N`: campaign worker threads (1 = serial, 0 = all cores).
+    /// Campaign results are bit-identical across values.
+    pub jobs: usize,
 }
 
 impl BenchArgs {
     /// Parses flags from `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = BenchArgs { full: false, injections: None };
+        let mut args = BenchArgs { full: false, injections: None, jobs: 1 };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => args.full = true,
                 "--injections" => {
                     args.injections = it.next().and_then(|v| v.parse().ok());
+                }
+                "--jobs" => {
+                    args.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(1);
                 }
                 other => eprintln!("[bench] ignoring unknown flag {other}"),
             }

@@ -103,12 +103,8 @@ pub fn accumulation_error_study(
             for _ in 0..trials {
                 let a = Tensor::randn([len], &mut rng);
                 let b = Tensor::randn([len], &mut rng);
-                let exact: f64 = a
-                    .as_slice()
-                    .iter()
-                    .zip(b.as_slice())
-                    .map(|(&x, &y)| x as f64 * y as f64)
-                    .sum();
+                let exact: f64 =
+                    a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x as f64 * y as f64).sum();
                 let got = quantized_dot(a.as_slice(), b.as_slice(), acc) as f64;
                 // Relative to the RMS magnitude of the sum (≈√len) so the
                 // metric is stable when the exact sum is near zero.
@@ -143,12 +139,12 @@ mod tests {
     #[test]
     fn narrower_accumulators_accumulate_more_error() {
         let lengths = [256usize];
-        let e_fp16 = accumulation_error_study(&FloatingPoint::fp16(), &lengths, 10, 3)[0]
-            .mean_rel_error;
-        let e_fp8 = accumulation_error_study(&FloatingPoint::fp8_e4m3(), &lengths, 10, 3)[0]
-            .mean_rel_error;
-        let e_fp32 = accumulation_error_study(&FloatingPoint::fp32(), &lengths, 10, 3)[0]
-            .mean_rel_error;
+        let e_fp16 =
+            accumulation_error_study(&FloatingPoint::fp16(), &lengths, 10, 3)[0].mean_rel_error;
+        let e_fp8 =
+            accumulation_error_study(&FloatingPoint::fp8_e4m3(), &lengths, 10, 3)[0].mean_rel_error;
+        let e_fp32 =
+            accumulation_error_study(&FloatingPoint::fp32(), &lengths, 10, 3)[0].mean_rel_error;
         assert!(e_fp32 < e_fp16, "fp32 {e_fp32} vs fp16 {e_fp16}");
         assert!(e_fp16 < e_fp8, "fp16 {e_fp16} vs fp8 {e_fp8}");
     }

@@ -15,8 +15,8 @@
 //! so every subcommand is self-contained; the bench binaries cover the
 //! paper-scale experiments.
 
-use goldeneye::dse::{search, DseFamily};
-use goldeneye::{evaluate_accuracy, run_campaign, CampaignConfig, GoldenEye};
+use goldeneye::dse::{accuracy_eval, search, DseFamily};
+use goldeneye::{evaluate_accuracy_jobs, run_campaign, CampaignConfig, GoldenEye};
 use inject::SiteKind;
 use models::{
     train, DeitConfig, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer,
@@ -59,20 +59,28 @@ fn print_usage() {
            inspect <spec>                          describe a number format\n\
            quantize <spec> <v1,v2,...>             quantise values; show bit images\n\
            evaluate --model cnn|vit --spec <spec>  accuracy under an emulated format\n\
+                    [--jobs N]\n\
            campaign --model cnn|vit --spec <spec>  per-layer delta-loss injection campaign\n\
-                    [--site value|metadata] [--injections N]\n\
+                    [--site value|metadata] [--injections N] [--jobs N]\n\
            dse --model cnn|vit --family <fam>      binary-tree format search\n\
-               [--drop 0.02]  fam: fp|fxp|int|bfp|afp\n\n\
+               [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp\n\n\
+         --jobs N runs on N worker threads (0 = all cores); results are\n\
+         bit-identical to --jobs 1.\n\n\
          FORMAT SPECS: fp:eXmY[:nodn] fxp:1:I:F int:B bfp:eXmY:(bN|tensor) afp:eXmY posit:N:ES\n\
                        fp32 fp16 bfloat16 tf32 dlfloat16 fp8 int8 int16 posit8 posit16"
     );
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parses `--jobs N` (default 1 = serial; 0 = all cores).
+fn jobs_flag(args: &[String]) -> Result<usize, String> {
+    match flag(args, "--jobs") {
+        None => Ok(1),
+        Some(v) => v.parse().map_err(|_| format!("bad --jobs value `{v}`")),
+    }
 }
 
 fn cmd_ranges() -> Result<(), String> {
@@ -115,7 +123,11 @@ fn cmd_quantize(args: &[String]) -> Result<(), String> {
         println!("{x:>14.6} {v:>14.6} {:>20}", bits.to_string());
     }
     if q.meta.word_count() > 0 {
-        println!("\nmetadata ({} word(s), {} bits each):", q.meta.word_count(), q.meta.word_width());
+        println!(
+            "\nmetadata ({} word(s), {} bits each):",
+            q.meta.word_count(),
+            q.meta.word_width()
+        );
         for w in 0..q.meta.word_count().min(8) {
             println!("  word {w}: {}", q.meta.word_bits(w).expect("in range"));
         }
@@ -124,7 +136,10 @@ fn cmd_quantize(args: &[String]) -> Result<(), String> {
 }
 
 /// Builds and trains the CLI's small demonstration model.
-fn demo_model(kind: &str, epochs: usize) -> Result<(Box<dyn Module>, SyntheticDataset, f32), String> {
+fn demo_model(
+    kind: &str,
+    epochs: usize,
+) -> Result<(Box<dyn Module>, SyntheticDataset, f32), String> {
     let mut rng = StdRng::seed_from_u64(1);
     let model: Box<dyn Module> = match kind {
         "cnn" => Box::new(ResNet::new(ResNetConfig::tiny(8), &mut rng)),
@@ -146,9 +161,10 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
     let spec = flag(args, "--spec").ok_or("evaluate needs --spec")?;
     let epochs = flag(args, "--epochs").and_then(|e| e.parse().ok()).unwrap_or(8);
+    let jobs = jobs_flag(args)?;
     let ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
     let (model, data, baseline) = demo_model(&model_kind, epochs)?;
-    let acc = evaluate_accuracy(&ge, model.as_ref(), &data, 64, 32);
+    let acc = evaluate_accuracy_jobs(&ge, model.as_ref(), &data, 64, 32, jobs);
     println!("native FP32 accuracy: {:.1}%", baseline * 100.0);
     println!("{} accuracy:     {:.1}%", ge.format().name(), acc * 100.0);
     Ok(())
@@ -159,6 +175,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let spec = flag(args, "--spec").ok_or("campaign needs --spec")?;
     let site = flag(args, "--site").unwrap_or_else(|| "value".into());
     let injections = flag(args, "--injections").and_then(|n| n.parse().ok()).unwrap_or(20);
+    let jobs = jobs_flag(args)?;
     let kind = match site.as_str() {
         "value" => SiteKind::Value,
         "metadata" => SiteKind::Metadata,
@@ -175,7 +192,7 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
         model.as_ref(),
         &x,
         &y,
-        &CampaignConfig { injections_per_layer: injections, kind, seed: 0 },
+        &CampaignConfig { injections_per_layer: injections, kind, seed: 0, jobs },
     );
     println!("{:<6} {:<18} {:>12} {:>12}", "layer", "name", "dLoss", "mismatch");
     for l in &result.layers {
@@ -195,6 +212,7 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
     let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
     let family = flag(args, "--family").ok_or("dse needs --family")?;
     let drop = flag(args, "--drop").and_then(|d| d.parse().ok()).unwrap_or(0.02);
+    let jobs = jobs_flag(args)?;
     let family = match family.as_str() {
         "fp" => DseFamily::Fp,
         "fxp" => DseFamily::Fxp,
@@ -205,15 +223,7 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
     };
     let (model, data, baseline) = demo_model(&model_kind, 8)?;
     println!("baseline accuracy: {:.1}%, allowed drop {:.1}%", baseline * 100.0, drop * 100.0);
-    let result = search(
-        family,
-        |spec| {
-            let ge = GoldenEye::new(spec.build());
-            evaluate_accuracy(&ge, model.as_ref(), &data, 64, 32)
-        },
-        baseline,
-        drop,
-    );
+    let result = search(family, accuracy_eval(model.as_ref(), &data, 64, 32, jobs), baseline, drop);
     for n in &result.nodes {
         println!(
             "node {:>2}: {:<18} acc {:>5.1}%  {}",

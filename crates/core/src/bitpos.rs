@@ -11,8 +11,8 @@ use crate::instrument::GoldenEye;
 use inject::flip_value;
 use metrics::{compare_outcomes, RunningStats};
 use nn::{Ctx, ForwardHook, LayerInfo, LayerKind, Module};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use tensor::Tensor;
 
 /// ΔLoss statistics for one bit position of a format's value encoding.
@@ -29,11 +29,11 @@ pub struct BitPositionResult {
 
 /// Hook that flips a *fixed* bit of a randomly chosen element at one layer.
 struct FixedBitHook {
-    format: Rc<dyn formats::NumberFormat>,
+    format: Arc<dyn formats::NumberFormat>,
     layer: usize,
     bit: usize,
-    element_seed: RefCell<inject::Injector>,
-    fired: RefCell<bool>,
+    element_seed: Mutex<inject::Injector>,
+    fired: AtomicBool,
 }
 
 impl ForwardHook for FixedBitHook {
@@ -42,10 +42,11 @@ impl ForwardHook for FixedBitHook {
         if layer.index == self.layer {
             let f = self
                 .element_seed
-                .borrow_mut()
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
                 .sample_value_fault(q.values.numel(), self.format.bit_width() as usize);
             flip_value(self.format.as_ref(), &mut q, f.index, self.bit);
-            *self.fired.borrow_mut() = true;
+            self.fired.store(true, Ordering::Relaxed);
         }
         Some(self.format.format_to_real_tensor(&q))
     }
@@ -76,26 +77,26 @@ pub fn bit_position_campaign(
     assert!(trials > 0, "need at least one trial per bit");
     let golden = ge.run(model, x.clone());
     let width = ge.format().bit_width() as usize;
-    let format = ge.format_rc();
+    let format = ge.format_arc();
     let mut out = Vec::with_capacity(width);
     for bit in 0..width {
         let mut delta_loss = RunningStats::new();
         let mut mismatch = RunningStats::new();
         for t in 0..trials {
-            let hook = Rc::new(FixedBitHook {
+            let hook = Arc::new(FixedBitHook {
                 format: format.clone(),
                 layer,
                 bit,
-                element_seed: RefCell::new(inject::Injector::new(
+                element_seed: Mutex::new(inject::Injector::new(
                     seed.wrapping_add((bit * trials + t) as u64),
                 )),
-                fired: RefCell::new(false),
+                fired: AtomicBool::new(false),
             });
             let mut ctx = Ctx::inference();
             ctx.add_hook(hook.clone());
             let xv = ctx.input(x.clone());
             let faulty = model.forward(&xv, &mut ctx).value();
-            assert!(*hook.fired.borrow(), "layer {layer} never executed");
+            assert!(hook.fired.load(Ordering::Relaxed), "layer {layer} never executed");
             let o = compare_outcomes(&golden, &faulty, targets);
             delta_loss.push(o.delta_loss);
             mismatch.push(o.mismatch_rate);

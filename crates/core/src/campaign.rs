@@ -6,6 +6,7 @@ use crate::instrument::{GoldenEye, InjectionPlan};
 use inject::SiteKind;
 use metrics::{compare_outcomes, RunningStats};
 use nn::Module;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tensor::Tensor;
 
 /// Campaign parameters.
@@ -15,15 +16,104 @@ pub struct CampaignConfig {
     pub injections_per_layer: usize,
     /// Value-bit or metadata-bit faults.
     pub kind: SiteKind,
-    /// Base RNG seed; injection `i` at layer `l` uses seed
-    /// `base + l·injections + i`.
+    /// Base RNG seed. Each trial derives its own seed with a SplitMix64
+    /// counter hash over `(seed, layer, trial)` — see [`trial_seed`] —
+    /// so results do not depend on trial execution order.
     pub seed: u64,
+    /// Worker threads for the campaign executor: `1` runs serial, `N > 1`
+    /// runs `N` scoped threads, `0` uses the machine's available
+    /// parallelism. Results are **bit-identical** for every value.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { injections_per_layer: 100, kind: SiteKind::Value, seed: 0 }
+        CampaignConfig { injections_per_layer: 100, kind: SiteKind::Value, seed: 0, jobs: 1 }
     }
+}
+
+impl CampaignConfig {
+    /// Returns the config with `jobs` worker threads.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// The per-trial RNG seed: a SplitMix64 counter hash over
+/// `(base, layer, trial)`.
+///
+/// Every trial gets a statistically independent seed regardless of which
+/// worker thread runs it, which is what makes the parallel executor
+/// bit-identical to the serial one (and is a better seeding scheme than
+/// the old `base + layer·n + trial`, whose adjacent seeds correlate).
+pub fn trial_seed(base: u64, layer: u64, trial: u64) -> u64 {
+    rand::mix64(rand::mix64(rand::mix64(base) ^ layer) ^ trial)
+}
+
+/// Resolves a `jobs` knob: `0` means "all available cores".
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Runs `trials` independent trial closures and returns their results in
+/// trial-index order.
+///
+/// With `jobs <= 1` this is a plain serial loop. Otherwise `jobs` scoped
+/// worker threads pull trial indices from a shared atomic counter, and
+/// the results are re-sorted into index order afterwards — so any
+/// deterministic per-index `f` yields output independent of `jobs`.
+///
+/// # Panics
+///
+/// Propagates a panic from any trial (the remaining workers finish their
+/// current trial first).
+pub(crate) fn run_trials<T, F>(jobs: usize, trials: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = effective_jobs(jobs).min(trials.max(1));
+    if jobs <= 1 {
+        return (0..trials).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(trials);
+        let mut panicked = None;
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.extend(local),
+                Err(payload) => panicked = Some(payload),
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+        all
+    });
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Per-layer campaign result.
@@ -69,6 +159,12 @@ impl CampaignResult {
 /// single-bit flips (per `cfg.kind`), each in a fresh inference over
 /// `(x, targets)`, and compares against the error-free emulated run.
 ///
+/// Trials are independent inferences, so with `cfg.jobs > 1` they run on
+/// that many scoped worker threads; per-trial seeds come from
+/// [`trial_seed`] and outcomes are folded into the per-layer statistics
+/// in canonical `(layer, trial)` order, so the result is bit-identical
+/// for every `jobs` value.
+///
 /// # Panics
 ///
 /// Panics if the format lacks metadata but `cfg.kind` is
@@ -89,22 +185,23 @@ pub fn run_campaign(
     }
     let layers = ge.discover_layers(model, x.clone());
     let golden = ge.run(model, x.clone());
+    let n = cfg.injections_per_layer;
+    // One flat trial space: trial t of layer l is global index l·n + t.
+    let outcomes = run_trials(cfg.jobs, layers.len() * n, |idx| {
+        let layer = &layers[idx / n];
+        let trial = idx % n;
+        let seed = trial_seed(cfg.seed, layer.index as u64, trial as u64);
+        let plan = InjectionPlan::single(layer.index, cfg.kind);
+        let (faulty, rec) = ge.run_with_injection(model, x.clone(), plan, seed);
+        rec.map(|_| compare_outcomes(&golden, &faulty, targets))
+    });
     let mut results = Vec::with_capacity(layers.len());
-    for layer in &layers {
+    for (li, layer) in layers.iter().enumerate() {
         let mut delta_loss = RunningStats::new();
         let mut mismatch = RunningStats::new();
         let mut fired = 0usize;
-        for i in 0..cfg.injections_per_layer {
-            let seed = cfg
-                .seed
-                .wrapping_add((layer.index * cfg.injections_per_layer + i) as u64);
-            let plan = InjectionPlan::single(layer.index, cfg.kind);
-            let (faulty, rec) = ge.run_with_injection(model, x.clone(), plan, seed);
-            if rec.is_none() {
-                continue;
-            }
+        for outcome in outcomes[li * n..(li + 1) * n].iter().flatten() {
             fired += 1;
-            let outcome = compare_outcomes(&golden, &faulty, targets);
             delta_loss.push(outcome.delta_loss);
             mismatch.push(outcome.mismatch_rate);
         }
@@ -116,11 +213,7 @@ pub fn run_campaign(
             injections: fired,
         });
     }
-    CampaignResult {
-        format: ge.format().name(),
-        kind: cfg.kind,
-        layers: results,
-    }
+    CampaignResult { format: ge.format().name(), kind: cfg.kind, layers: results }
 }
 
 /// Runs a **weight**-fault campaign (§V-B: injections in weights as well
@@ -132,6 +225,14 @@ pub fn run_campaign(
 /// Weights are quantised into the format up front (the paper's offline
 /// conversion), and fully restored before returning. `cfg.kind` is
 /// ignored: stored weights are data values.
+///
+/// Each trial perturbs its weight through a **thread-local** parameter
+/// override ([`nn::Param::override_local`]) instead of mutating the
+/// shared storage, so with `cfg.jobs > 1` concurrent trials never
+/// observe each other's faults; the shared model holds the clean
+/// quantised weights throughout. As in [`run_campaign`], per-trial
+/// seeding plus canonical fold order make the result bit-identical for
+/// every `jobs` value.
 pub fn run_weight_campaign(
     ge: &GoldenEye,
     model: &dyn Module,
@@ -143,54 +244,47 @@ pub fn run_weight_campaign(
     let snapshot = ParamSnapshot::capture(model);
     ge.quantize_weights(model);
     let golden = ge.run(model, x.clone());
-    let mut weight_params: Vec<(String, usize)> = Vec::new();
+    // Clean quantised weights, captured once: each trial flips a bit in a
+    // private copy derived from these.
+    let mut weights: Vec<(nn::Param, Tensor)> = Vec::new();
     model.visit_params(&mut |p| {
         if p.name().ends_with(".weight") {
-            weight_params.push((p.name().to_string(), p.numel()));
+            weights.push((p.clone(), p.get()));
         }
     });
     let width = ge.format().bit_width() as usize;
-    let mut results = Vec::with_capacity(weight_params.len());
-    for (li, (name, numel)) in weight_params.iter().enumerate() {
-        let mut injector = inject::Injector::new(cfg.seed.wrapping_add(li as u64));
+    let n = cfg.injections_per_layer;
+    let outcomes = run_trials(cfg.jobs, weights.len() * n, |idx| {
+        let (param, clean) = &weights[idx / n];
+        let trial = idx % n;
+        let seed = trial_seed(cfg.seed, (idx / n) as u64, trial as u64);
+        let mut injector = inject::Injector::new(seed);
+        let fault = injector.sample_value_fault(clean.numel(), width);
+        let mut q = ge.format().real_to_format_tensor(clean);
+        inject::flip_value(ge.format(), &mut q, fault.index, fault.bit);
+        let faulty_weight = ge.format().format_to_real_tensor(&q);
+        let _guard = param.override_local(faulty_weight);
+        let faulty = ge.run(model, x.clone());
+        compare_outcomes(&golden, &faulty, targets)
+    });
+    let mut results = Vec::with_capacity(weights.len());
+    for (li, (param, _)) in weights.iter().enumerate() {
         let mut delta_loss = RunningStats::new();
         let mut mismatch = RunningStats::new();
-        // Remember the clean quantised weight so each flip starts fresh.
-        let mut clean: Option<Tensor> = None;
-        model.visit_params(&mut |p| {
-            if p.name() == name {
-                clean = Some(p.get());
-            }
-        });
-        let clean = clean.expect("weight parameter present");
-        for _ in 0..cfg.injections_per_layer {
-            let fault = injector.sample_value_fault(*numel, width);
-            ge.inject_weight_fault(model, name, fault.index, fault.bit);
-            let faulty = ge.run(model, x.clone());
-            let outcome = compare_outcomes(&golden, &faulty, targets);
+        for outcome in &outcomes[li * n..(li + 1) * n] {
             delta_loss.push(outcome.delta_loss);
             mismatch.push(outcome.mismatch_rate);
-            // Restore the clean quantised weight.
-            model.visit_params(&mut |p| {
-                if p.name() == name {
-                    p.set(clean.clone());
-                }
-            });
         }
         results.push(LayerResult {
             layer: li,
-            name: name.clone(),
+            name: param.name().to_string(),
             delta_loss,
             mismatch,
-            injections: cfg.injections_per_layer,
+            injections: n,
         });
     }
     snapshot.restore(model);
-    CampaignResult {
-        format: ge.format().name(),
-        kind: SiteKind::Value,
-        layers: results,
-    }
+    CampaignResult { format: ge.format().name(), kind: SiteKind::Value, layers: results }
 }
 
 #[cfg(test)]
@@ -217,7 +311,8 @@ mod tests {
     fn value_campaign_covers_all_layers() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
-        let cfg = CampaignConfig { injections_per_layer: 5, kind: SiteKind::Value, seed: 7 };
+        let cfg =
+            CampaignConfig { injections_per_layer: 5, kind: SiteKind::Value, seed: 7, jobs: 1 };
         let result = run_campaign(&ge, &model, &x, &y, &cfg);
         assert_eq!(result.layers.len(), 7); // tiny resnet instrumented layers
         for l in &result.layers {
@@ -231,7 +326,8 @@ mod tests {
     fn metadata_campaign_on_bfp() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
-        let cfg = CampaignConfig { injections_per_layer: 5, kind: SiteKind::Metadata, seed: 7 };
+        let cfg =
+            CampaignConfig { injections_per_layer: 5, kind: SiteKind::Metadata, seed: 7, jobs: 1 };
         let result = run_campaign(&ge, &model, &x, &y, &cfg);
         assert!(result.layers.iter().all(|l| l.injections == 5));
     }
@@ -248,14 +344,19 @@ mod tests {
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 3 },
+            &CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 3, jobs: 1 },
         );
         let meta = run_campaign(
             &ge,
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 30, kind: SiteKind::Metadata, seed: 3 },
+            &CampaignConfig {
+                injections_per_layer: 30,
+                kind: SiteKind::Metadata,
+                seed: 3,
+                jobs: 1,
+            },
         );
         assert!(
             meta.avg_delta_loss() > value.avg_delta_loss(),
@@ -275,7 +376,7 @@ mod tests {
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 1, kind: SiteKind::Metadata, seed: 0 },
+            &CampaignConfig { injections_per_layer: 1, kind: SiteKind::Metadata, seed: 0, jobs: 1 },
         );
     }
 
@@ -284,7 +385,8 @@ mod tests {
         let (model, x, y) = setup();
         let before = models::forward_logits(&model, x.clone());
         let ge = GoldenEye::parse("fp:e4m3").unwrap();
-        let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 1 };
+        let cfg =
+            CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 1, jobs: 1 };
         let result = run_weight_campaign(&ge, &model, &x, &y, &cfg);
         // tiny resnet: stem + 4 block convs + 1 downsample + head = 7
         // weight tensors.
@@ -299,7 +401,8 @@ mod tests {
     fn weight_campaign_is_deterministic() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("int:8").unwrap();
-        let cfg = CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 9 };
+        let cfg =
+            CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 9, jobs: 1 };
         let a = run_weight_campaign(&ge, &model, &x, &y, &cfg);
         let b = run_weight_campaign(&ge, &model, &x, &y, &cfg);
         for (la, lb) in a.layers.iter().zip(&b.layers) {
@@ -311,7 +414,8 @@ mod tests {
     fn campaign_is_deterministic() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("int:8").unwrap();
-        let cfg = CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 11 };
+        let cfg =
+            CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 11, jobs: 1 };
         let a = run_campaign(&ge, &model, &x, &y, &cfg);
         let b = run_campaign(&ge, &model, &x, &y, &cfg);
         for (la, lb) in a.layers.iter().zip(&b.layers) {

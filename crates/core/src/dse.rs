@@ -11,6 +11,28 @@
 
 use formats::FormatSpec;
 
+/// Builds the standard accuracy-evaluation closure for [`search`]:
+/// each candidate format is scored with
+/// [`evaluate_accuracy_jobs`](crate::evaluate_accuracy_jobs) over the
+/// first `k` samples of `data`, spreading evaluation batches over `jobs`
+/// worker threads (`0` = all cores, `1` = serial).
+///
+/// The DSE tree walk itself is inherently sequential — each node's
+/// accept/reject decides the next candidate — so parallelism lives
+/// inside each node's evaluation.
+pub fn accuracy_eval<'a>(
+    model: &'a dyn nn::Module,
+    data: &'a models::SyntheticDataset,
+    k: usize,
+    batch_size: usize,
+    jobs: usize,
+) -> impl FnMut(&FormatSpec) -> f32 + 'a {
+    move |spec| {
+        let ge = crate::GoldenEye::new(spec.build());
+        crate::evaluate_accuracy_jobs(&ge, model, data, k, batch_size, jobs)
+    }
+}
+
 /// The format family being explored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DseFamily {
@@ -43,11 +65,9 @@ impl DseFamily {
                 FormatSpec::Fxp { int: i, frac: (w - 1 - i).max(1) }
             }
             DseFamily::Int => FormatSpec::Int { bits: w.max(2) },
-            DseFamily::Bfp { block } => FormatSpec::Bfp {
-                exp: 8,
-                man: (w - 1).clamp(1, 23),
-                block,
-            },
+            DseFamily::Bfp { block } => {
+                FormatSpec::Bfp { exp: 8, man: (w - 1).clamp(1, 23), block }
+            }
             DseFamily::Afp => {
                 let e = (w / 4).clamp(2, 8);
                 FormatSpec::Afp { exp: e, man: (w - 1 - e).max(1) }
@@ -66,19 +86,27 @@ impl DseFamily {
                 let lo = w.saturating_sub(9).max(1);
                 let hi = w.saturating_sub(3);
                 (lo <= hi).then(|| {
-                    (lo, hi, Box::new(move |m: u32| FormatSpec::Fp {
-                        exp: w - 1 - m,
-                        man: m,
-                        denormals: true,
-                    }) as Box<dyn Fn(u32) -> FormatSpec>)
+                    (
+                        lo,
+                        hi,
+                        Box::new(move |m: u32| FormatSpec::Fp {
+                            exp: w - 1 - m,
+                            man: m,
+                            denormals: true,
+                        }) as Box<dyn Fn(u32) -> FormatSpec>,
+                    )
                 })
             }
             DseFamily::Afp => {
                 let lo = w.saturating_sub(9).max(1);
                 let hi = w.saturating_sub(3);
                 (lo <= hi).then(|| {
-                    (lo, hi, Box::new(move |m: u32| FormatSpec::Afp { exp: w - 1 - m, man: m })
-                        as Box<dyn Fn(u32) -> FormatSpec>)
+                    (
+                        lo,
+                        hi,
+                        Box::new(move |m: u32| FormatSpec::Afp { exp: w - 1 - m, man: m })
+                            as Box<dyn Fn(u32) -> FormatSpec>,
+                    )
                 })
             }
             DseFamily::Fxp => {
@@ -86,8 +114,12 @@ impl DseFamily {
                 let lo = 1;
                 let hi = w.saturating_sub(2);
                 (lo <= hi).then(|| {
-                    (lo, hi, Box::new(move |f: u32| FormatSpec::Fxp { int: w - 1 - f, frac: f })
-                        as Box<dyn Fn(u32) -> FormatSpec>)
+                    (
+                        lo,
+                        hi,
+                        Box::new(move |f: u32| FormatSpec::Fxp { int: w - 1 - f, frac: f })
+                            as Box<dyn Fn(u32) -> FormatSpec>,
+                    )
                 })
             }
             DseFamily::Bfp { block } => {
@@ -161,7 +193,10 @@ pub fn search(
     const MAX_NODES: usize = 16;
     let threshold = baseline_accuracy - max_drop;
     let mut nodes: Vec<DseNode> = Vec::new();
-    let visit = |spec: FormatSpec, nodes: &mut Vec<DseNode>, eval: &mut dyn FnMut(&FormatSpec) -> f32| -> bool {
+    let visit = |spec: FormatSpec,
+                 nodes: &mut Vec<DseNode>,
+                 eval: &mut dyn FnMut(&FormatSpec) -> f32|
+     -> bool {
         if let Some(prev) = nodes.iter().find(|n| n.spec == spec) {
             return prev.accepted;
         }
@@ -238,11 +273,7 @@ impl MixedPrecisionResult {
         if self.assignments.is_empty() {
             return 0.0;
         }
-        let total: u32 = self
-            .assignments
-            .values()
-            .map(|&i| total_bits(&candidates[i]))
-            .sum();
+        let total: u32 = self.assignments.values().map(|&i| total_bits(&candidates[i])).sum();
         total as f32 / self.assignments.len() as f32
     }
 }
@@ -389,10 +420,8 @@ mod tests {
     #[test]
     fn mixed_precision_search_finds_per_layer_knees() {
         // Layer 0 is sensitive (needs ≥ 8 bits); layer 1 tolerates 4.
-        let candidates: Vec<FormatSpec> = [16u32, 12, 8, 4]
-            .iter()
-            .map(|&b| FormatSpec::Int { bits: b })
-            .collect();
+        let candidates: Vec<FormatSpec> =
+            [16u32, 12, 8, 4].iter().map(|&b| FormatSpec::Int { bits: b }).collect();
         let layers = [0usize, 1];
         let eval = |a: &std::collections::HashMap<usize, usize>| {
             let bits = |l: usize| match a[&l] {

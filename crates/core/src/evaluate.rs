@@ -19,25 +19,36 @@ pub fn evaluate_accuracy(
     k: usize,
     batch_size: usize,
 ) -> f32 {
+    evaluate_accuracy_jobs(ge, model, data, k, batch_size, 1)
+}
+
+/// [`evaluate_accuracy`] with the evaluation batches spread over `jobs`
+/// worker threads (`0` = all available cores).
+///
+/// Batches are independent emulated inferences over fixed data, so the
+/// measured accuracy is identical for every `jobs` value.
+pub fn evaluate_accuracy_jobs(
+    ge: &GoldenEye,
+    model: &dyn Module,
+    data: &SyntheticDataset,
+    k: usize,
+    batch_size: usize,
+    jobs: usize,
+) -> f32 {
     let snap = crate::instrument::ParamSnapshot::capture(model);
     ge.quantize_weights(model);
     let k = k.min(data.len());
-    let mut correct = 0usize;
-    let mut start = 0usize;
-    while start < k {
+    let batches = k.div_ceil(batch_size);
+    let per_batch = crate::campaign::run_trials(jobs, batches, |b| {
+        let start = b * batch_size;
         let end = (start + batch_size).min(k);
         let idx: Vec<usize> = (start..end).collect();
         let (x, y) = data.batch(&idx);
         let logits = ge.run(model, x);
-        correct += ops::argmax_rows(&logits)
-            .iter()
-            .zip(&y)
-            .filter(|(p, t)| p == t)
-            .count();
-        start = end;
-    }
+        ops::argmax_rows(&logits).iter().zip(&y).filter(|(p, t)| p == t).count()
+    });
     snap.restore(model);
-    correct as f32 / k as f32
+    per_batch.iter().sum::<usize>() as f32 / k as f32
 }
 
 /// One row of an accuracy-vs-format sweep (Figure 4).
@@ -68,11 +79,7 @@ pub fn accuracy_sweep(
         .map(|s| {
             let ge = GoldenEye::parse(s).unwrap_or_else(|e| panic!("{e}"));
             let accuracy = evaluate_accuracy(&ge, model, data, k, batch_size);
-            AccuracyPoint {
-                spec: s.to_string(),
-                bit_width: ge.format().bit_width(),
-                accuracy,
-            }
+            AccuracyPoint { spec: s.to_string(), bit_width: ge.format().bit_width(), accuracy }
         })
         .collect()
 }

@@ -7,11 +7,18 @@
 //! the nearest FP32 value → continue the inference.
 
 use formats::NumberFormat;
-use inject::{flip_metadata, flip_value, Injector, MetadataFlip, RangeProfile, SiteKind, ValueFlip};
+use inject::{
+    flip_metadata, flip_value, Injector, MetadataFlip, RangeProfile, SiteKind, ValueFlip,
+};
 use nn::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use tensor::Tensor;
+
+/// Locks a mutex, ignoring poisoning: hook state is only ever replaced
+/// wholesale, so a panicked trial cannot leave it torn.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 /// Which layer kinds get instrumented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,27 +99,24 @@ enum RangeMode {
 /// The number-format emulation hook (with optional injection), installed
 /// on every instrumented layer.
 struct EmulationHook {
-    formats: Rc<FormatTable>,
+    formats: Arc<FormatTable>,
     filter: LayerFilter,
     plan: Option<InjectionPlan>,
-    injector: RefCell<Injector>,
-    record: RefCell<Option<InjectionRecord>>,
-    range: Rc<RangeProfile>,
+    injector: Mutex<Injector>,
+    record: Mutex<Option<InjectionRecord>>,
+    range: Arc<RangeProfile>,
     range_mode: RangeMode,
 }
 
 /// Default format plus per-layer overrides (mixed precision).
 struct FormatTable {
-    default: Rc<dyn NumberFormat>,
-    per_layer: std::collections::HashMap<usize, Rc<dyn NumberFormat>>,
+    default: Arc<dyn NumberFormat>,
+    per_layer: std::collections::HashMap<usize, Arc<dyn NumberFormat>>,
 }
 
 impl FormatTable {
     fn resolve(&self, layer: usize) -> &dyn NumberFormat {
-        self.per_layer
-            .get(&layer)
-            .map(Rc::as_ref)
-            .unwrap_or(self.default.as_ref())
+        self.per_layer.get(&layer).map(Arc::as_ref).unwrap_or(self.default.as_ref())
     }
 }
 
@@ -122,7 +126,7 @@ impl ForwardHook for EmulationHook {
         let mut q = format.real_to_format_tensor(output);
         if let Some(plan) = &self.plan {
             if plan.layer == layer.index {
-                let mut inj = self.injector.borrow_mut();
+                let mut inj = lock(&self.injector);
                 let record = match plan.kind {
                     SiteKind::Value => {
                         let numel = q.values.numel();
@@ -141,16 +145,15 @@ impl ForwardHook for EmulationHook {
                         let width = q.meta.word_width();
                         let f = inj.sample_metadata_fault(words, width);
                         let mut flip = flip_metadata(format, &mut q, f.index, f.bit);
-                        for &b in sample_distinct_bits(&mut inj, width, plan.bits, f.bit)
-                            .iter()
-                            .skip(1)
+                        for &b in
+                            sample_distinct_bits(&mut inj, width, plan.bits, f.bit).iter().skip(1)
                         {
                             flip = flip_metadata(format, &mut q, f.index, b);
                         }
                         InjectionRecord::Metadata { layer: layer.clone(), flip }
                     }
                 };
-                *self.record.borrow_mut() = Some(record);
+                *lock(&self.record) = Some(record);
             }
         }
         let values = format.format_to_real_tensor(&q);
@@ -185,12 +188,12 @@ fn sample_distinct_bits(inj: &mut Injector, width: usize, count: u32, first: usi
 /// Hook that only records which layers would be instrumented.
 struct DiscoveryHook {
     filter: LayerFilter,
-    layers: RefCell<Vec<LayerInfo>>,
+    layers: Mutex<Vec<LayerInfo>>,
 }
 
 impl ForwardHook for DiscoveryHook {
     fn on_output(&self, layer: &LayerInfo, _output: &Tensor) -> Option<Tensor> {
-        self.layers.borrow_mut().push(layer.clone());
+        lock(&self.layers).push(layer.clone());
         None
     }
 
@@ -216,10 +219,10 @@ impl ForwardHook for DiscoveryHook {
 /// assert_eq!(logits.dims(), &[1, 4]);
 /// ```
 pub struct GoldenEye {
-    format: Rc<dyn NumberFormat>,
-    layer_formats: std::collections::HashMap<usize, Rc<dyn NumberFormat>>,
+    format: Arc<dyn NumberFormat>,
+    layer_formats: std::collections::HashMap<usize, Arc<dyn NumberFormat>>,
     filter: LayerFilter,
-    range: Rc<RangeProfile>,
+    range: Arc<RangeProfile>,
     detect: bool,
 }
 
@@ -241,10 +244,10 @@ impl GoldenEye {
     /// filter (CONV + LINEAR) and the range detector disabled.
     pub fn new(format: Box<dyn NumberFormat>) -> Self {
         GoldenEye {
-            format: Rc::from(format),
+            format: Arc::from(format),
             layer_formats: std::collections::HashMap::new(),
             filter: LayerFilter::ConvLinear,
-            range: Rc::new(RangeProfile::new()),
+            range: Arc::new(RangeProfile::new()),
             detect: false,
         }
     }
@@ -277,17 +280,14 @@ impl GoldenEye {
     /// as future work in §V-C). Layer indices are those reported by
     /// [`GoldenEye::discover_layers`].
     pub fn with_layer_format(mut self, layer: usize, format: Box<dyn NumberFormat>) -> Self {
-        self.layer_formats.insert(layer, Rc::from(format));
+        self.layer_formats.insert(layer, Arc::from(format));
         self
     }
 
     /// The format used for a given instrumented layer (the default unless
     /// overridden).
     pub fn format_for_layer(&self, layer: usize) -> &dyn NumberFormat {
-        self.layer_formats
-            .get(&layer)
-            .map(Rc::as_ref)
-            .unwrap_or(self.format.as_ref())
+        self.layer_formats.get(&layer).map(Arc::as_ref).unwrap_or(self.format.as_ref())
     }
 
     /// The emulated format.
@@ -296,19 +296,19 @@ impl GoldenEye {
     }
 
     /// Shared handle to the default format (for custom hooks).
-    pub(crate) fn format_rc(&self) -> Rc<dyn NumberFormat> {
+    pub(crate) fn format_arc(&self) -> Arc<dyn NumberFormat> {
         self.format.clone()
     }
 
     /// Lists the layers that will be instrumented for `model` (by running
     /// one discovery pass on `sample`).
     pub fn discover_layers(&self, model: &dyn Module, sample: Tensor) -> Vec<LayerInfo> {
-        let hook = Rc::new(DiscoveryHook { filter: self.filter, layers: RefCell::new(Vec::new()) });
+        let hook = Arc::new(DiscoveryHook { filter: self.filter, layers: Mutex::new(Vec::new()) });
         let mut ctx = Ctx::inference();
         ctx.add_hook(hook.clone());
         let x = ctx.input(sample);
         model.forward(&x, &mut ctx);
-        let layers = hook.layers.borrow().clone();
+        let layers = lock(&hook.layers).clone();
         layers
     }
 
@@ -332,8 +332,8 @@ impl GoldenEye {
         self.run_inner(model, x, Some(plan), seed)
     }
 
-    fn format_table(&self) -> Rc<FormatTable> {
-        Rc::new(FormatTable {
+    fn format_table(&self) -> Arc<FormatTable> {
+        Arc::new(FormatTable {
             default: self.format.clone(),
             per_layer: self.layer_formats.clone(),
         })
@@ -346,12 +346,12 @@ impl GoldenEye {
         plan: Option<InjectionPlan>,
         seed: u64,
     ) -> (Tensor, Option<InjectionRecord>) {
-        let hook = Rc::new(EmulationHook {
+        let hook = Arc::new(EmulationHook {
             formats: self.format_table(),
             filter: self.filter,
             plan,
-            injector: RefCell::new(Injector::new(seed)),
-            record: RefCell::new(None),
+            injector: Mutex::new(Injector::new(seed)),
+            record: Mutex::new(None),
             range: self.range.clone(),
             range_mode: if self.detect && !self.range.is_empty() {
                 RangeMode::Detect
@@ -363,7 +363,7 @@ impl GoldenEye {
         ctx.add_hook(hook.clone());
         let xv = ctx.input(x);
         let logits = model.forward(&xv, &mut ctx).value();
-        let record = hook.record.borrow().clone();
+        let record = lock(&hook.record).clone();
         (logits, record)
     }
 
@@ -371,12 +371,12 @@ impl GoldenEye {
     /// the range detector.
     pub fn profile_ranges(&self, model: &dyn Module, batches: &[Tensor]) {
         for x in batches {
-            let hook = Rc::new(EmulationHook {
+            let hook = Arc::new(EmulationHook {
                 formats: self.format_table(),
                 filter: self.filter,
                 plan: None,
-                injector: RefCell::new(Injector::new(0)),
-                record: RefCell::new(None),
+                injector: Mutex::new(Injector::new(0)),
+                record: Mutex::new(None),
                 range: self.range.clone(),
                 range_mode: RangeMode::Profile,
             });
@@ -451,18 +451,18 @@ impl GoldenEye {
 /// ```
 /// use goldeneye::FaultyTrainingHook;
 /// use nn::Ctx;
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 ///
 /// let hook = FaultyTrainingHook::parse("int:8", 0.1, 42)?;
 /// let mut ctx = Ctx::training();
-/// ctx.add_hook(Rc::new(hook));
+/// ctx.add_hook(Arc::new(hook));
 /// # Ok::<(), formats::ParseFormatError>(())
 /// ```
 pub struct FaultyTrainingHook {
-    format: Rc<dyn NumberFormat>,
-    injector: RefCell<Injector>,
+    format: Arc<dyn NumberFormat>,
+    injector: Mutex<Injector>,
     fault_prob: f64,
-    injections: RefCell<u64>,
+    injections: Mutex<u64>,
 }
 
 impl std::fmt::Debug for FaultyTrainingHook {
@@ -472,7 +472,7 @@ impl std::fmt::Debug for FaultyTrainingHook {
             "FaultyTrainingHook(format={}, p={}, fired={})",
             self.format.name(),
             self.fault_prob,
-            self.injections.borrow()
+            lock(&self.injections)
         )
     }
 }
@@ -488,10 +488,10 @@ impl FaultyTrainingHook {
     pub fn new(format: Box<dyn NumberFormat>, fault_prob: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&fault_prob), "fault_prob must be a probability");
         FaultyTrainingHook {
-            format: Rc::from(format),
-            injector: RefCell::new(Injector::new(seed)),
+            format: Arc::from(format),
+            injector: Mutex::new(Injector::new(seed)),
             fault_prob,
-            injections: RefCell::new(0),
+            injections: Mutex::new(0),
         }
     }
 
@@ -500,24 +500,28 @@ impl FaultyTrainingHook {
     /// # Errors
     ///
     /// Returns the parse error for invalid specs.
-    pub fn parse(spec: &str, fault_prob: f64, seed: u64) -> Result<Self, formats::ParseFormatError> {
+    pub fn parse(
+        spec: &str,
+        fault_prob: f64,
+        seed: u64,
+    ) -> Result<Self, formats::ParseFormatError> {
         Ok(Self::new(spec.parse::<formats::FormatSpec>()?.build(), fault_prob, seed))
     }
 
     /// Number of faults injected so far.
     pub fn injections_fired(&self) -> u64 {
-        *self.injections.borrow()
+        *lock(&self.injections)
     }
 }
 
 impl ForwardHook for FaultyTrainingHook {
     fn on_output(&self, _layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
         let mut q = self.format.real_to_format_tensor(output);
-        let mut inj = self.injector.borrow_mut();
+        let mut inj = lock(&self.injector);
         if rand::Rng::gen_bool(inj.rng(), self.fault_prob) {
             let f = inj.sample_value_fault(q.values.numel(), self.format.bit_width() as usize);
             flip_value(self.format.as_ref(), &mut q, f.index, f.bit);
-            *self.injections.borrow_mut() += 1;
+            *lock(&self.injections) += 1;
         }
         Some(self.format.format_to_real_tensor(&q))
     }
@@ -548,7 +552,11 @@ impl ParamSnapshot {
         model.visit_params(&mut |p: &Param| {
             let (name, value) = &self.values[i];
             assert_eq!(p.name(), name, "parameter order changed since snapshot");
-            p.set(value.clone());
+            // Overwrite wholesale rather than `Param::set`: restore is the
+            // recovery path after a failed trial, and must succeed even if
+            // a panicking worker left the current value torn (wrong shape,
+            // poisoned lock).
+            p.update(|t| *t = value.clone());
             i += 1;
         });
         assert_eq!(i, self.values.len(), "parameter count changed since snapshot");
@@ -601,9 +609,7 @@ mod tests {
         // tiny resnet: stem conv + 2 blocks × 2 convs + 1 downsample conv
         // + head linear = 1 + 4 + 1 + 1 = 7.
         assert_eq!(layers.len(), 7);
-        assert!(layers
-            .iter()
-            .all(|l| matches!(l.kind, LayerKind::Conv | LayerKind::Linear)));
+        assert!(layers.iter().all(|l| matches!(l.kind, LayerKind::Conv | LayerKind::Linear)));
         // Indices are execution-ordered (global hook-point counters, so
         // strictly increasing but not necessarily contiguous).
         for w in layers.windows(2) {
@@ -702,14 +708,14 @@ mod tests {
     #[test]
     fn faulty_training_hook_fires_proportionally() {
         let model = tiny_model(29);
-        let hook = Rc::new(FaultyTrainingHook::parse("int:8", 1.0, 1).unwrap());
+        let hook = Arc::new(FaultyTrainingHook::parse("int:8", 1.0, 1).unwrap());
         let mut ctx = nn::Ctx::training();
         ctx.add_hook(hook.clone());
         let x = ctx.input(sample(30));
         model.forward(&x, &mut ctx);
         // p = 1.0 → every instrumented layer fires.
         assert_eq!(hook.injections_fired(), 7);
-        let silent = Rc::new(FaultyTrainingHook::parse("int:8", 0.0, 1).unwrap());
+        let silent = Arc::new(FaultyTrainingHook::parse("int:8", 0.0, 1).unwrap());
         let mut ctx = nn::Ctx::training();
         ctx.add_hook(silent.clone());
         let x = ctx.input(sample(30));
@@ -720,7 +726,7 @@ mod tests {
     #[test]
     fn faulty_training_still_backpropagates() {
         let model = tiny_model(31);
-        let hook = Rc::new(FaultyTrainingHook::parse("fp:e4m3", 0.5, 2).unwrap());
+        let hook = Arc::new(FaultyTrainingHook::parse("fp:e4m3", 0.5, 2).unwrap());
         let mut ctx = nn::Ctx::training();
         ctx.add_hook(hook);
         let x = ctx.input(sample(32));
@@ -780,9 +786,10 @@ mod tests {
         let lossless = pure.run(&model, x.clone());
         // …but overriding one layer with a 4-bit float perturbs the output.
         let layers = pure.discover_layers(&model, x.clone());
-        let mixed = GoldenEye::parse("fp32")
-            .unwrap()
-            .with_layer_format(layers[1].index, "fp:e2m1".parse::<formats::FormatSpec>().unwrap().build());
+        let mixed = GoldenEye::parse("fp32").unwrap().with_layer_format(
+            layers[1].index,
+            "fp:e2m1".parse::<formats::FormatSpec>().unwrap().build(),
+        );
         let perturbed = mixed.run(&model, x.clone());
         assert!(!lossless.allclose(&perturbed, 1e-7), "override had no effect");
         // And it is milder than quantising every layer to 4 bits.

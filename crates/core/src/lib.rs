@@ -48,9 +48,9 @@ mod evaluate;
 mod instrument;
 
 pub use campaign::{
-    run_campaign, run_weight_campaign, CampaignConfig, CampaignResult, LayerResult,
+    run_campaign, run_weight_campaign, trial_seed, CampaignConfig, CampaignResult, LayerResult,
 };
-pub use evaluate::{accuracy_sweep, evaluate_accuracy, AccuracyPoint};
+pub use evaluate::{accuracy_sweep, evaluate_accuracy, evaluate_accuracy_jobs, AccuracyPoint};
 pub use instrument::{
     FaultyTrainingHook, GoldenEye, InjectionPlan, InjectionRecord, LayerFilter, ParamSnapshot,
 };

@@ -48,10 +48,7 @@ impl AdaptivFloat {
     ///
     /// Panics if `exp_bits ∉ 2..=11` or `man_bits ∉ 1..=52`.
     pub fn new(exp_bits: u32, man_bits: u32) -> Self {
-        AdaptivFloat {
-            params: FpParams::new(exp_bits, man_bits, false),
-            bias_bits: 4,
-        }
+        AdaptivFloat { params: FpParams::new(exp_bits, man_bits, false), bias_bits: 4 }
     }
 
     /// Sets the width of the bias register.
@@ -124,10 +121,7 @@ impl NumberFormat for AdaptivFloat {
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
         let bias = self.bias_for(t);
         let values = t.map(|x| self.quantize_with_bias(x, bias));
-        Quantized {
-            values,
-            meta: Metadata::ExpBias { bias, bias_bits: self.bias_bits },
-        }
+        Quantized { values, meta: Metadata::ExpBias { bias, bias_bits: self.bias_bits } }
     }
 
     fn real_to_format(&self, value: f32, meta: &Metadata, _index: usize) -> Bitstring {
@@ -143,10 +137,7 @@ impl NumberFormat for AdaptivFloat {
     fn dynamic_range(&self) -> DynamicRange {
         // The window is movable; its *width* is that of FP(e,m) without
         // denormals (Table I's "movable range" note).
-        DynamicRange {
-            max_abs: self.params.max_value(),
-            min_abs: self.params.min_normal(),
-        }
+        DynamicRange { max_abs: self.params.max_value(), min_abs: self.params.min_normal() }
     }
 
     fn supports_metadata_injection(&self) -> bool {

@@ -146,8 +146,7 @@ impl NumberFormat for BlockFloatingPoint {
             let step = self.step_for_code(code);
             for &x in block {
                 let sign = if x < 0.0 { -1.0 } else { 1.0 };
-                let mag = round_ties_even((x as f64).abs() / step)
-                    .min(self.mag_max() as f64);
+                let mag = round_ties_even((x as f64).abs() / step).min(self.mag_max() as f64);
                 values.push((sign * mag * step) as f32);
             }
         }

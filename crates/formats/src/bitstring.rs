@@ -36,9 +36,7 @@ impl Bitstring {
     /// Panics if `width > 64`.
     pub fn from_u64(value: u64, width: usize) -> Self {
         assert!(width <= 64, "bitstring width {} exceeds 64", width);
-        let bits = (0..width)
-            .map(|i| (value >> (width - 1 - i)) & 1 == 1)
-            .collect();
+        let bits = (0..width).map(|i| (value >> (width - 1 - i)) & 1 == 1).collect();
         Bitstring { bits }
     }
 

@@ -58,6 +58,10 @@ impl DynamicRange {
 /// Implementations must be deterministic: quantising the same tensor twice
 /// yields the same values and metadata.
 ///
+/// `Send + Sync` is a supertrait so one format instance (behind an `Arc`)
+/// can serve every worker thread of a parallel fault-injection campaign;
+/// formats are pure configuration and hold no mutable state.
+///
 /// # Examples
 ///
 /// ```
@@ -68,7 +72,7 @@ impl DynamicRange {
 /// let q = fp8.real_to_format_tensor(&x);
 /// assert_eq!(q.values.as_slice()[2], 240.0); // saturates at FP8 max
 /// ```
-pub trait NumberFormat: std::fmt::Debug {
+pub trait NumberFormat: std::fmt::Debug + Send + Sync {
     /// Short human-readable name, e.g. `"fp_e4m3"` or `"bfp_e5m5_b16"`.
     fn name(&self) -> String;
 
@@ -136,12 +140,7 @@ pub trait NumberFormat: std::fmt::Debug {
 /// # Panics
 ///
 /// Panics if `element` or `bit` is out of range.
-pub fn flip_value_bit(
-    format: &dyn NumberFormat,
-    q: &Quantized,
-    element: usize,
-    bit: usize,
-) -> f32 {
+pub fn flip_value_bit(format: &dyn NumberFormat, q: &Quantized, element: usize, bit: usize) -> f32 {
     let v = q.values.as_slice()[element];
     let bits = format.real_to_format(v, &q.meta, element);
     assert!(bit < bits.len(), "bit {} out of range for {}-bit format", bit, bits.len());

@@ -131,11 +131,7 @@ impl FpParams {
             return self.quantize(x as f64) as f32;
         }
         if e_unb > self.emax() {
-            return if x < 0.0 {
-                -(self.max_value() as f32)
-            } else {
-                self.max_value() as f32
-            };
+            return if x < 0.0 { -(self.max_value() as f32) } else { self.max_value() as f32 };
         }
         if e_unb >= self.emin() {
             f32::from_bits(rounded)
@@ -356,7 +352,7 @@ mod tests {
     #[test]
     fn fp32_quantize_is_identity_on_f32() {
         let fp = FloatingPoint::fp32();
-        for &x in &[0.0f32, 1.0, -2.5, 3.14159, 1e-30, -1e30, f32::MIN_POSITIVE] {
+        for &x in &[0.0f32, 1.0, -2.5, 3.375, 1e-30, -1e30, f32::MIN_POSITIVE] {
             assert_eq!(fp.quantize_scalar(x), x, "fp32 must be lossless for {x}");
         }
     }
@@ -366,11 +362,7 @@ mod tests {
         let fp = FloatingPoint::fp32();
         for &x in &[0.0f32, 1.0, -1.5, 0.1, 65504.0, 1.4e-45, -3.0e38] {
             let bits = fp.real_to_format(x, &Metadata::None, 0);
-            assert_eq!(
-                bits.to_u64() as u32,
-                x.to_bits(),
-                "encode({x}) != f32 bits"
-            );
+            assert_eq!(bits.to_u64() as u32, x.to_bits(), "encode({x}) != f32 bits");
             assert_eq!(fp.format_to_real(&bits, &Metadata::None, 0), x);
         }
     }
@@ -513,8 +505,22 @@ mod tests {
             FpParams::new(3, 23, true),
         ];
         let mut cases: Vec<f32> = vec![
-            0.0, -0.0, 1.0, -1.0, 0.5, 240.0, 241.0, 1e30, -1e30, 1e-30, -1e-30,
-            f32::MIN_POSITIVE, f32::MIN_POSITIVE / 8.0, 65504.0, 1.0625, 1.1875,
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            240.0,
+            241.0,
+            1e30,
+            -1e30,
+            1e-30,
+            -1e-30,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 8.0,
+            65504.0,
+            1.0625,
+            1.1875,
         ];
         for _ in 0..4000 {
             let exp: i32 = rng.gen_range(-40..40);

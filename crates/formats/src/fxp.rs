@@ -36,10 +36,7 @@ impl FixedPoint {
     /// Panics if the total width exceeds 63 bits or is zero.
     pub fn new(int_bits: u32, frac_bits: u32) -> Self {
         let total = 1 + int_bits + frac_bits;
-        assert!(
-            (2..=63).contains(&total),
-            "fixed-point width {total} out of range 2..=63"
-        );
+        assert!((2..=63).contains(&total), "fixed-point width {total} out of range 2..=63");
         FixedPoint { int_bits, frac_bits }
     }
 
@@ -95,10 +92,7 @@ impl NumberFormat for FixedPoint {
     }
 
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
-        Quantized {
-            values: t.map(|x| self.quantize_scalar(x)),
-            meta: Metadata::None,
-        }
+        Quantized { values: t.map(|x| self.quantize_scalar(x)), meta: Metadata::None }
     }
 
     fn real_to_format(&self, value: f32, _meta: &Metadata, _index: usize) -> Bitstring {
@@ -112,10 +106,7 @@ impl NumberFormat for FixedPoint {
     }
 
     fn dynamic_range(&self) -> DynamicRange {
-        DynamicRange {
-            max_abs: (1i64 << self.int_bits) as f64,
-            min_abs: self.step(),
-        }
+        DynamicRange { max_abs: (1i64 << self.int_bits) as f64, min_abs: self.step() }
     }
 }
 

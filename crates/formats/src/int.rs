@@ -65,7 +65,13 @@ impl IntQuant {
 
     fn code_of(&self, value: f32, scale: f32) -> i64 {
         if !value.is_finite() || scale == 0.0 {
-            return if value > 0.0 { self.qmax() } else if value < 0.0 { -self.qmax() } else { 0 };
+            return if value > 0.0 {
+                self.qmax()
+            } else if value < 0.0 {
+                -self.qmax()
+            } else {
+                0
+            };
         }
         let q = crate::fp::round_ties_even((value / scale) as f64);
         (q as i64).clamp(-self.qmax(), self.qmax())

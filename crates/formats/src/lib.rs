@@ -39,8 +39,8 @@
 mod afp;
 mod bfp;
 mod bitstring;
-mod format;
 pub mod footprint;
+mod format;
 mod fp;
 mod fxp;
 mod int;

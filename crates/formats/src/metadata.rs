@@ -63,12 +63,10 @@ impl Metadata {
     pub fn word_bits(&self, word: usize) -> Option<Bitstring> {
         match self {
             Metadata::None => None,
-            Metadata::Scale(s) => {
-                (word == 0).then(|| Bitstring::from_u64(s.to_bits() as u64, 32))
+            Metadata::Scale(s) => (word == 0).then(|| Bitstring::from_u64(s.to_bits() as u64, 32)),
+            Metadata::SharedExponents { codes, exp_bits, .. } => {
+                codes.get(word).map(|&c| Bitstring::from_u64(c as u64, *exp_bits as usize))
             }
-            Metadata::SharedExponents { codes, exp_bits, .. } => codes
-                .get(word)
-                .map(|&c| Bitstring::from_u64(c as u64, *exp_bits as usize)),
             Metadata::ExpBias { bias, bias_bits } => (word == 0).then(|| {
                 let mask = if *bias_bits >= 64 { u64::MAX } else { (1u64 << bias_bits) - 1 };
                 Bitstring::from_u64((*bias as i64 as u64) & mask, *bias_bits as usize)
@@ -94,11 +92,7 @@ impl Metadata {
                 assert!(word < codes.len(), "shared-exponent word {} out of range", word);
                 let mut codes = codes.clone();
                 codes[word] = bits.to_u64() as u32;
-                Metadata::SharedExponents {
-                    codes,
-                    block_size: *block_size,
-                    exp_bits: *exp_bits,
-                }
+                Metadata::SharedExponents { codes, block_size: *block_size, exp_bits: *exp_bits }
             }
             Metadata::ExpBias { bias_bits, .. } => {
                 assert_eq!(word, 0, "exponent-bias metadata has a single word");

@@ -159,7 +159,11 @@ fn decode(code: u64, n: u32, es: u32) -> f64 {
     let e_bits = es.min(rest_bits);
     let e = if e_bits > 0 { (rest >> (rest_bits - e_bits)) << (es - e_bits) } else { 0 };
     let f_bits = rest_bits - e_bits;
-    let f = if f_bits > 0 { (rest & ((1u64 << f_bits) - 1)) as f64 / (1u64 << f_bits) as f64 } else { 0.0 };
+    let f = if f_bits > 0 {
+        (rest & ((1u64 << f_bits) - 1)) as f64 / (1u64 << f_bits) as f64
+    } else {
+        0.0
+    };
     let scale = k * (1i64 << es) + e as i64;
     let v = (2.0f64).powi(scale as i32) * (1.0 + f);
     if sign {

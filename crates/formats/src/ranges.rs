@@ -77,10 +77,7 @@ mod tests {
     fn table1_matches_paper() {
         let rows = table1_rows();
         let by_label = |l: &str| {
-            rows.iter()
-                .find(|r| r.label == l)
-                .unwrap_or_else(|| panic!("missing row {l}"))
-                .range
+            rows.iter().find(|r| r.label == l).unwrap_or_else(|| panic!("missing row {l}")).range
         };
         let close = |got: f64, want: f64, rel: f64| (got - want).abs() <= want.abs() * rel;
 

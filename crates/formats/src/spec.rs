@@ -127,7 +127,8 @@ impl FromStr for FormatSpec {
     type Err = ParseFormatError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = |reason: &str| ParseFormatError { spec: s.to_string(), reason: reason.to_string() };
+        let err =
+            |reason: &str| ParseFormatError { spec: s.to_string(), reason: reason.to_string() };
         let lower = s.to_ascii_lowercase();
         match lower.as_str() {
             "fp32" => return Ok(FormatSpec::Fp { exp: 8, man: 23, denormals: true }),
@@ -226,14 +227,8 @@ mod tests {
             "bfp:e5m5:b16".parse::<FormatSpec>().unwrap(),
             FormatSpec::Bfp { exp: 5, man: 5, block: 16 }
         );
-        assert_eq!(
-            "afp:e4m3".parse::<FormatSpec>().unwrap(),
-            FormatSpec::Afp { exp: 4, man: 3 }
-        );
-        assert_eq!(
-            "posit:8:1".parse::<FormatSpec>().unwrap(),
-            FormatSpec::Posit { n: 8, es: 1 }
-        );
+        assert_eq!("afp:e4m3".parse::<FormatSpec>().unwrap(), FormatSpec::Afp { exp: 4, man: 3 });
+        assert_eq!("posit:8:1".parse::<FormatSpec>().unwrap(), FormatSpec::Posit { n: 8, es: 1 });
         assert_eq!(
             "bfp:e5m5:tensor".parse::<FormatSpec>().unwrap(),
             FormatSpec::Bfp { exp: 5, man: 5, block: usize::MAX }

@@ -31,7 +31,7 @@ proptest! {
         let fp = FloatingPoint::new(e, m);
         let max = fp.dynamic_range().max_abs as f32;
         prop_assume!(v < max);
-        let min_normal = (2.0f64).powi(2 - (1 << (e - 1)) as i32) as f32;
+        let min_normal = (2.0f64).powi(2 - (1i32 << (e - 1))) as f32;
         prop_assume!(v >= min_normal);
         let q = fp.quantize_scalar(v);
         let ulp = (2.0f32).powi(v.log2().floor() as i32 - m as i32);

@@ -35,7 +35,12 @@ pub struct MetadataFlip {
 /// # Panics
 ///
 /// Panics if `element` or `bit` is out of range.
-pub fn flip_value(format: &dyn NumberFormat, q: &mut Quantized, element: usize, bit: usize) -> ValueFlip {
+pub fn flip_value(
+    format: &dyn NumberFormat,
+    q: &mut Quantized,
+    element: usize,
+    bit: usize,
+) -> ValueFlip {
     assert!(element < q.values.numel(), "element {element} out of range");
     let old = q.values.as_slice()[element];
     let bits = format.real_to_format(old, &q.meta, element);
@@ -64,12 +69,7 @@ pub fn flip_value_multi(
     }
     let new = format.format_to_real(&bits, &q.meta, element);
     q.values.as_mut_slice()[element] = new;
-    ValueFlip {
-        element,
-        bit: bits_to_flip.first().copied().unwrap_or(0),
-        old,
-        new,
-    }
+    ValueFlip { element, bit: bits_to_flip.first().copied().unwrap_or(0), old, new }
 }
 
 /// Flips one bit of one metadata word in-place, re-interpreting the stored
@@ -79,17 +79,16 @@ pub fn flip_value_multi(
 /// # Panics
 ///
 /// Panics if the format has no metadata, or `word`/`bit` is out of range.
-pub fn flip_metadata(format: &dyn NumberFormat, q: &mut Quantized, word: usize, bit: usize) -> MetadataFlip {
-    assert!(
-        format.supports_metadata_injection(),
-        "{} has no injectable metadata",
-        format.name()
-    );
+pub fn flip_metadata(
+    format: &dyn NumberFormat,
+    q: &mut Quantized,
+    word: usize,
+    bit: usize,
+) -> MetadataFlip {
+    assert!(format.supports_metadata_injection(), "{} has no injectable metadata", format.name());
     let old = q.meta.clone();
-    let bits = q
-        .meta
-        .word_bits(word)
-        .unwrap_or_else(|| panic!("metadata word {word} out of range"));
+    let bits =
+        q.meta.word_bits(word).unwrap_or_else(|| panic!("metadata word {word} out of range"));
     assert!(bit < bits.len(), "bit {bit} out of range for metadata word");
     let new = q.meta.with_word_bits(word, &bits.with_flip(bit));
     q.values = format.apply_metadata(&q.values, &old, &new);

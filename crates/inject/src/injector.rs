@@ -74,7 +74,11 @@ impl Injector {
     }
 
     /// Samples and executes a random single-bit value flip on `q`.
-    pub fn inject_random_value(&mut self, format: &dyn NumberFormat, q: &mut Quantized) -> ValueFlip {
+    pub fn inject_random_value(
+        &mut self,
+        format: &dyn NumberFormat,
+        q: &mut Quantized,
+    ) -> ValueFlip {
         let f = self.sample_value_fault(q.values.numel(), format.bit_width() as usize);
         flip_value(format, q, f.index, f.bit)
     }

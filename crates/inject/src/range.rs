@@ -2,17 +2,19 @@
 //! activation clamping: profile per-layer output ranges on clean runs,
 //! then clamp faulty activations back into the profiled range.
 
-use std::cell::RefCell;
+use std::sync::RwLock;
 use tensor::Tensor;
 
 /// Per-layer activation range profile.
 ///
 /// Build it by observing clean inferences; apply it with
 /// [`RangeProfile::clamp`] during faulty inferences. Interior mutability
-/// lets a shared hook update the profile during profiling passes.
+/// (an `RwLock`, so a profile shared via `Arc` is `Sync` for parallel
+/// campaign workers) lets a shared hook update the profile during
+/// profiling passes; faulty inferences only take the read lock.
 #[derive(Debug, Default)]
 pub struct RangeProfile {
-    ranges: RefCell<Vec<Option<(f32, f32)>>>,
+    ranges: RwLock<Vec<Option<(f32, f32)>>>,
 }
 
 impl RangeProfile {
@@ -21,9 +23,13 @@ impl RangeProfile {
         Self::default()
     }
 
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Vec<Option<(f32, f32)>>> {
+        self.ranges.read().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Records the min/max of `t` for `layer`, widening any existing range.
     pub fn observe(&self, layer: usize, t: &Tensor) {
-        let mut ranges = self.ranges.borrow_mut();
+        let mut ranges = self.ranges.write().unwrap_or_else(|p| p.into_inner());
         if ranges.len() <= layer {
             ranges.resize(layer + 1, None);
         }
@@ -36,17 +42,17 @@ impl RangeProfile {
 
     /// The profiled range of `layer`, if any.
     pub fn range(&self, layer: usize) -> Option<(f32, f32)> {
-        self.ranges.borrow().get(layer).copied().flatten()
+        self.read().get(layer).copied().flatten()
     }
 
     /// Number of profiled layers.
     pub fn len(&self) -> usize {
-        self.ranges.borrow().len()
+        self.read().len()
     }
 
     /// True if nothing has been profiled.
     pub fn is_empty(&self) -> bool {
-        self.ranges.borrow().iter().all(Option::is_none)
+        self.read().iter().all(Option::is_none)
     }
 
     /// Clamps `t` into `layer`'s profiled range (identity if unprofiled).
@@ -55,13 +61,7 @@ impl RangeProfile {
     pub fn clamp(&self, layer: usize, t: &Tensor) -> Tensor {
         match self.range(layer) {
             None => t.clone(),
-            Some((lo, hi)) => t.map(|x| {
-                if x.is_nan() {
-                    hi
-                } else {
-                    x.clamp(lo, hi)
-                }
-            }),
+            Some((lo, hi)) => t.map(|x| if x.is_nan() { hi } else { x.clamp(lo, hi) }),
         }
     }
 }

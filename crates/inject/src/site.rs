@@ -117,10 +117,7 @@ mod tests {
         assert_eq!(FormatFamily::of(&FloatingPoint::fp16()), Some(FormatFamily::Fp));
         assert_eq!(FormatFamily::of(&FixedPoint::new(3, 4)), Some(FormatFamily::Fxp));
         assert_eq!(FormatFamily::of(&IntQuant::new(8)), Some(FormatFamily::Int));
-        assert_eq!(
-            FormatFamily::of(&BlockFloatingPoint::new(5, 5, 8)),
-            Some(FormatFamily::Bfp)
-        );
+        assert_eq!(FormatFamily::of(&BlockFloatingPoint::new(5, 5, 8)), Some(FormatFamily::Bfp));
         assert_eq!(FormatFamily::of(&AdaptivFloat::new(4, 3)), Some(FormatFamily::Afp));
     }
 

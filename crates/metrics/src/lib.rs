@@ -96,11 +96,7 @@ pub struct InjectionOutcome {
 ///
 /// Panics if the two logit tensors differ in shape or don't match
 /// `targets`.
-pub fn compare_outcomes(
-    golden: &Tensor,
-    faulty: &Tensor,
-    targets: &[usize],
-) -> InjectionOutcome {
+pub fn compare_outcomes(golden: &Tensor, faulty: &Tensor, targets: &[usize]) -> InjectionOutcome {
     assert_eq!(golden.shape(), faulty.shape(), "logit shape mismatch");
     let gp = ops::argmax_rows(golden);
     let fp = ops::argmax_rows(faulty);
@@ -109,10 +105,7 @@ pub fn compare_outcomes(
     let fl = cross_entropy_per_sample(faulty, targets);
     let n = targets.len().max(1);
     let delta: f32 = gl.iter().zip(&fl).map(|(a, b)| (a - b).abs()).sum::<f32>() / n as f32;
-    InjectionOutcome {
-        mismatch_rate: mismatches as f32 / n as f32,
-        delta_loss: delta,
-    }
+    InjectionOutcome { mismatch_rate: mismatches as f32 / n as f32, delta_loss: delta }
 }
 
 #[cfg(test)]

@@ -212,7 +212,7 @@ mod tests {
             let hit = rng.gen::<f32>() < p;
             binary.push(if hit { 1.0 } else { 0.0 });
             // Continuous signal centred on the same mean with small noise.
-            continuous.push(p + rng.gen_range(-0.01..0.01));
+            continuous.push(p + rng.gen_range(-0.01f32..0.01));
         }
         let cb = binary.samples_to_converge(0.1);
         let cc = continuous.samples_to_converge(0.1);

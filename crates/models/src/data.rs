@@ -105,10 +105,7 @@ impl SyntheticDataset {
             data.extend_from_slice(&self.images[i * stride..(i + 1) * stride]);
             labels.push(self.labels[i]);
         }
-        (
-            Tensor::from_vec(data, [indices.len(), 3, s, s]),
-            labels,
-        )
+        (Tensor::from_vec(data, [indices.len(), 3, s, s]), labels)
     }
 
     /// The first `k` samples as one batch (a deterministic evaluation set).
@@ -189,10 +186,7 @@ mod tests {
         let c = &x.as_slice()[2 * n..3 * n];
         let d_within: f32 = a.iter().zip(b).map(|(p, q)| (p - q).abs()).sum::<f32>() / n as f32;
         let d_between: f32 = a.iter().zip(c).map(|(p, q)| (p - q).abs()).sum::<f32>() / n as f32;
-        assert!(
-            d_between > d_within * 1.05,
-            "between {d_between} vs within {d_within}"
-        );
+        assert!(d_between > d_within * 1.05, "between {d_between} vs within {d_within}");
     }
 
     #[test]

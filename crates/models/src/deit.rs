@@ -85,9 +85,18 @@ pub struct VisionTransformer {
 impl VisionTransformer {
     /// Builds the network with fresh random weights.
     pub fn new(config: DeitConfig, rng: &mut impl Rng) -> Self {
-        let patch_embed = PatchEmbed::new("patch", 3, config.img_size, config.patch, config.dim, rng);
+        let patch_embed =
+            PatchEmbed::new("patch", 3, config.img_size, config.patch, config.dim, rng);
         let blocks = (0..config.depth)
-            .map(|i| TransformerBlock::new(&format!("blk{i}"), config.dim, config.heads, config.mlp_ratio, rng))
+            .map(|i| {
+                TransformerBlock::new(
+                    &format!("blk{i}"),
+                    config.dim,
+                    config.heads,
+                    config.mlp_ratio,
+                    rng,
+                )
+            })
             .collect();
         let norm = LayerNorm::new("norm", config.dim);
         let head = Linear::new("head", config.dim, config.num_classes, true, rng);
@@ -109,9 +118,7 @@ impl Module for VisionTransformer {
         let tokens = self.norm.forward(&tokens, ctx);
         // Mean-pool over the token dimension: [B, T, D] → [B, D].
         let dims = tokens.shape().dims().to_vec();
-        let pooled = tokens
-            .mean_axes_keepdim(&[1])
-            .reshape([dims[0], dims[2]]);
+        let pooled = tokens.mean_axes_keepdim(&[1]).reshape([dims[0], dims[2]]);
         self.head.forward(&pooled, ctx)
     }
 

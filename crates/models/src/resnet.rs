@@ -133,10 +133,7 @@ impl ResBlock {
                 BatchNorm2d::new(format!("{name}.down_bn"), out_ch),
             )
         });
-        (
-            ResBlock { convs, downsample, relu: Relu::new(format!("{name}.relu")) },
-            out_ch,
-        )
+        (ResBlock { convs, downsample, relu: Relu::new(format!("{name}.relu")) }, out_ch)
     }
 }
 
@@ -273,11 +270,7 @@ mod tests {
         let logits = net.forward(&x, &mut ctx);
         let loss = logits.cross_entropy(&[0, 2]);
         let grads = loss.backward();
-        let with_grads = ctx
-            .bindings()
-            .iter()
-            .filter(|(_, v)| grads.get(v).is_some())
-            .count();
+        let with_grads = ctx.bindings().iter().filter(|(_, v)| grads.get(v).is_some()).count();
         assert_eq!(with_grads, ctx.bindings().len(), "all params need grads");
         assert!(loss.value().item().is_finite());
     }

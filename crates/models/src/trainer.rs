@@ -57,9 +57,7 @@ pub fn train(model: &dyn Module, data: &SyntheticDataset, cfg: &TrainConfig) -> 
             opt.step(&ctx, &grads);
             loss_sum += loss.value().item() * y.len() as f32;
             let lv = logits.value();
-            correct += (metrics_argmax(&lv).iter().zip(&y))
-                .filter(|(p, t)| p == t)
-                .count();
+            correct += (metrics_argmax(&lv).iter().zip(&y)).filter(|(p, t)| p == t).count();
             seen += y.len();
         }
         let log = EpochLog {
@@ -102,11 +100,7 @@ pub fn evaluate(model: &dyn Module, data: &SyntheticDataset, k: usize, batch_siz
         let idx: Vec<usize> = (start..end).collect();
         let (x, y) = data.batch(&idx);
         let logits = forward_logits(model, x);
-        correct += metrics_argmax(&logits)
-            .iter()
-            .zip(&y)
-            .filter(|(p, t)| p == t)
-            .count();
+        correct += metrics_argmax(&logits).iter().zip(&y).filter(|(p, t)| p == t).count();
         start = end;
     }
     correct as f32 / k as f32
@@ -127,12 +121,7 @@ mod tests {
         let logs = train(&net, &data, &cfg);
         let first = logs.first().unwrap();
         let last = logs.last().unwrap();
-        assert!(
-            last.loss < first.loss * 0.8,
-            "loss should fall: {} → {}",
-            first.loss,
-            last.loss
-        );
+        assert!(last.loss < first.loss * 0.8, "loss should fall: {} → {}", first.loss, last.loss);
         assert!(last.accuracy > 0.5, "final train acc {}", last.accuracy);
     }
 

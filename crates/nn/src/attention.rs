@@ -46,9 +46,7 @@ impl MultiHeadAttention {
 
     fn split_heads(&self, x: &Var, b: usize, t: usize) -> Var {
         let dh = self.dim / self.heads;
-        x.reshape([b, t, self.heads, dh])
-            .permute(&[0, 2, 1, 3])
-            .reshape([b * self.heads, t, dh])
+        x.reshape([b, t, self.heads, dh]).permute(&[0, 2, 1, 3]).reshape([b * self.heads, t, dh])
     }
 }
 
@@ -68,11 +66,8 @@ impl Module for MultiHeadAttention {
         let attn = scores.softmax_lastdim();
         let attn = ctx.hook_output(LayerKind::Attention, &format!("{}.attn", self.name), attn);
 
-        let out = attn
-            .bmm(&v)
-            .reshape([b, self.heads, t, dh])
-            .permute(&[0, 2, 1, 3])
-            .reshape([b, t, d]);
+        let out =
+            attn.bmm(&v).reshape([b, self.heads, t, dh]).permute(&[0, 2, 1, 3]).reshape([b, t, d]);
         self.proj.forward(&out, ctx)
     }
 
@@ -245,9 +240,7 @@ mod tests {
         perturbed.as_mut_slice()[0] += 1.0;
         let mut ctx2 = Ctx::inference();
         let y2 = attn.forward(&ctx2.input(perturbed), &mut ctx2).value();
-        let tok3_diff: f32 = (0..8)
-            .map(|d| (y1.at(&[0, 3, d]) - y2.at(&[0, 3, d])).abs())
-            .sum();
+        let tok3_diff: f32 = (0..8).map(|d| (y1.at(&[0, 3, d]) - y2.at(&[0, 3, d])).abs()).sum();
         assert!(tok3_diff > 1e-6, "token 3 unaffected by token 0");
     }
 
@@ -285,13 +278,12 @@ mod tests {
         let attn = MultiHeadAttention::new("a", 8, 2, &mut rng);
         // Capture attention via a hook.
         use crate::module::{ForwardHook, LayerInfo, LayerKind};
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        struct Capture(RefCell<Option<Tensor>>);
+        use std::sync::{Arc, Mutex};
+        struct Capture(Mutex<Option<Tensor>>);
         impl ForwardHook for Capture {
             fn on_output(&self, l: &LayerInfo, out: &Tensor) -> Option<Tensor> {
                 if l.kind == LayerKind::Attention {
-                    *self.0.borrow_mut() = Some(out.clone());
+                    *self.0.lock().unwrap() = Some(out.clone());
                 }
                 None
             }
@@ -299,12 +291,12 @@ mod tests {
                 k == LayerKind::Attention
             }
         }
-        let cap = Rc::new(Capture(RefCell::new(None)));
+        let cap = Arc::new(Capture(Mutex::new(None)));
         let mut ctx = Ctx::inference();
         ctx.add_hook(cap.clone());
         let x = ctx.input(Tensor::randn([1, 4, 8], &mut rng));
         attn.forward(&x, &mut ctx);
-        let a = cap.0.borrow().clone().expect("attention captured");
+        let a = cap.0.lock().unwrap().clone().expect("attention captured");
         assert_eq!(a.dims(), &[2, 4, 4]); // B*H=2 heads
         for row in a.as_slice().chunks(4) {
             let s: f32 = row.iter().sum();

@@ -14,7 +14,12 @@ pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Ten
 
 /// Xavier/Glorot uniform initialisation: `U(−a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::rand_uniform(shape.to_vec(), -a, a, rng)
 }

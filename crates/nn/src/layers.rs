@@ -247,7 +247,10 @@ impl Module for Silu {
 #[derive(Debug)]
 pub struct Dropout {
     prob: f32,
-    rng: std::cell::RefCell<rand::rngs::StdRng>,
+    // Mutex (not RefCell) so Dropout-bearing modules stay `Sync` for the
+    // parallel campaign executor; uncontended in practice since training
+    // passes are single-threaded.
+    rng: std::sync::Mutex<rand::rngs::StdRng>,
 }
 
 impl Dropout {
@@ -260,7 +263,7 @@ impl Dropout {
     pub fn new(prob: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&prob), "drop probability {prob} out of [0,1)");
         use rand::SeedableRng;
-        Dropout { prob, rng: std::cell::RefCell::new(rand::rngs::StdRng::seed_from_u64(seed)) }
+        Dropout { prob, rng: std::sync::Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)) }
     }
 }
 
@@ -270,10 +273,10 @@ impl Module for Dropout {
             return x.clone();
         }
         let keep = 1.0 - self.prob;
-        let mut rng = self.rng.borrow_mut();
+        let mut rng = self.rng.lock().unwrap_or_else(|p| p.into_inner());
         let mask = Tensor::from_vec(
             (0..x.shape().numel())
-                .map(|_| if rng.gen_range(0.0..1.0) < keep { 1.0 / keep } else { 0.0 })
+                .map(|_| if rng.gen_range(0.0f32..1.0) < keep { 1.0 / keep } else { 0.0 })
                 .collect(),
             x.shape().clone(),
         );
@@ -489,11 +492,7 @@ mod tests {
         let loss = logits.cross_entropy(&[0, 1]);
         let grads = loss.backward();
         for (p, v) in ctx.bindings() {
-            assert!(
-                grads.get(v).is_some(),
-                "parameter {} received no gradient",
-                p.name()
-            );
+            assert!(grads.get(v).is_some(), "parameter {} received no gradient", p.name());
         }
     }
 

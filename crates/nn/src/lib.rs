@@ -43,6 +43,6 @@ pub use layers::{
     AvgPool2d, Conv2d, Dropout, Flatten, Gelu, GlobalAvgPool, Linear, MaxPool2d, Relu, Sequential,
     Sigmoid, Silu, Tanh,
 };
-pub use module::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param};
+pub use module::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param, ParamOverrideGuard};
 pub use norm::{BatchNorm2d, LayerNorm};
 pub use optim::{Adam, Sgd};

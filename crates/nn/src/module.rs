@@ -9,8 +9,9 @@
 //! straight-through estimator so training still backpropagates.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tensor::{Tape, Tensor, Var};
 
 /// The kind of a layer, used to select which layers hooks apply to.
@@ -51,7 +52,11 @@ pub struct LayerInfo {
 ///
 /// Returning `Some(t)` replaces the output with `t` (which must have the
 /// same shape); `None` leaves it unchanged.
-pub trait ForwardHook {
+///
+/// Hooks are shared across the parallel campaign executor's worker
+/// threads, hence the `Send + Sync` supertraits: any interior mutability
+/// (injection RNGs, capture buffers) must be behind a `Mutex`/`RwLock`.
+pub trait ForwardHook: Send + Sync {
     /// Observes (and optionally replaces) the output of `layer`.
     fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor>;
 
@@ -62,19 +67,61 @@ pub trait ForwardHook {
     }
 }
 
+thread_local! {
+    /// Per-thread parameter value overrides, keyed by [`Param::key`].
+    ///
+    /// The parallel weight-fault campaign runs many trials against one
+    /// shared model; each worker thread installs its faulty weight here
+    /// (via [`Param::override_local`]) instead of mutating the shared
+    /// storage, so trials never observe each other's faults.
+    static PARAM_OVERRIDES: RefCell<HashMap<usize, Tensor>> = RefCell::new(HashMap::new());
+}
+
+/// RAII guard for a thread-local parameter override (see
+/// [`Param::override_local`]). Dropping it restores the previous view.
+///
+/// Deliberately `!Send`: the override only exists on the installing
+/// thread, so the guard must be dropped there too.
+#[derive(Debug)]
+pub struct ParamOverrideGuard {
+    key: usize,
+    previous: Option<Tensor>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ParamOverrideGuard {
+    fn drop(&mut self) {
+        PARAM_OVERRIDES.with(|o| {
+            let mut map = o.borrow_mut();
+            match self.previous.take() {
+                Some(prev) => {
+                    map.insert(self.key, prev);
+                }
+                None => {
+                    map.remove(&self.key);
+                }
+            }
+        });
+    }
+}
+
 /// A trainable parameter: a shared, mutable tensor with a name.
 ///
-/// Cloning a `Param` aliases the same storage.
+/// Cloning a `Param` aliases the same storage. The storage is an
+/// `Arc<RwLock<..>>`, so parameters can be read concurrently from many
+/// campaign worker threads; lock poisoning is deliberately ignored (a
+/// panicked trial leaves the tensor intact — `Tensor` mutation through
+/// this API is replace-whole-value, never partial).
 #[derive(Clone)]
 pub struct Param {
-    value: Rc<RefCell<Tensor>>,
+    value: Arc<RwLock<Tensor>>,
     name: String,
 }
 
 impl Param {
     /// Creates a parameter from an initial value.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
-        Param { value: Rc::new(RefCell::new(value)), name: name.into() }
+        Param { value: Arc::new(RwLock::new(value)), name: name.into() }
     }
 
     /// The parameter's name.
@@ -82,41 +129,77 @@ impl Param {
         &self.name
     }
 
-    /// A snapshot of the current value.
-    pub fn get(&self) -> Tensor {
-        self.value.borrow().clone()
+    fn read(&self) -> RwLockReadGuard<'_, Tensor> {
+        self.value.read().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Replaces the value.
+    fn write(&self) -> RwLockWriteGuard<'_, Tensor> {
+        self.value.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A snapshot of the current value as seen by this thread: the
+    /// thread-local override if one is installed, else the shared value.
+    pub fn get(&self) -> Tensor {
+        let key = self.key();
+        if let Some(t) = PARAM_OVERRIDES.with(|o| o.borrow().get(&key).cloned()) {
+            return t;
+        }
+        self.read().clone()
+    }
+
+    /// Replaces the shared value.
     ///
     /// # Panics
     ///
     /// Panics if the new value's shape differs.
     pub fn set(&self, t: Tensor) {
-        let mut v = self.value.borrow_mut();
+        let mut v = self.write();
         assert_eq!(v.shape(), t.shape(), "parameter {} shape changed", self.name);
         *v = t;
     }
 
-    /// Applies an in-place update to the value.
+    /// Applies an in-place update to the shared value.
     pub fn update(&self, f: impl FnOnce(&mut Tensor)) {
-        f(&mut self.value.borrow_mut());
+        f(&mut self.write());
+    }
+
+    /// Installs a value override visible **only to the calling thread**
+    /// until the returned guard is dropped.
+    ///
+    /// This is how parallel fault-injection trials perturb a weight
+    /// without racing: the shared storage stays clean, and
+    /// [`Param::get`] on the installing thread sees `t` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t`'s shape differs from the parameter's.
+    pub fn override_local(&self, t: Tensor) -> ParamOverrideGuard {
+        assert_eq!(
+            self.read().shape(),
+            t.shape(),
+            "parameter {} override shape mismatch",
+            self.name
+        );
+        let key = self.key();
+        let previous = PARAM_OVERRIDES.with(|o| o.borrow_mut().insert(key, t));
+        ParamOverrideGuard { key, previous, _not_send: std::marker::PhantomData }
     }
 
     /// Number of elements.
     pub fn numel(&self) -> usize {
-        self.value.borrow().numel()
+        self.read().numel()
     }
 
-    /// A stable identity for this parameter's storage (used by optimizers).
+    /// A stable identity for this parameter's storage (used by optimizers
+    /// and the thread-local override table).
     pub fn key(&self) -> usize {
-        Rc::as_ptr(&self.value) as usize
+        Arc::as_ptr(&self.value) as usize
     }
 }
 
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Param({}, {:?})", self.name, self.value.borrow().shape())
+        write!(f, "Param({}, {:?})", self.name, self.read().shape())
     }
 }
 
@@ -124,7 +207,7 @@ impl fmt::Debug for Param {
 /// counter, and parameter→variable bindings for the optimizer.
 pub struct Ctx {
     tape: Tape,
-    hooks: Vec<Rc<dyn ForwardHook>>,
+    hooks: Vec<Arc<dyn ForwardHook>>,
     layer_index: usize,
     bindings: Vec<(Param, Var)>,
     training: bool,
@@ -154,7 +237,7 @@ impl Ctx {
     }
 
     /// Registers a forward hook.
-    pub fn add_hook(&mut self, hook: Rc<dyn ForwardHook>) -> &mut Self {
+    pub fn add_hook(&mut self, hook: Arc<dyn ForwardHook>) -> &mut Self {
         self.hooks.push(hook);
         self
     }
@@ -205,12 +288,8 @@ impl Ctx {
     pub fn hook_output(&mut self, kind: LayerKind, name: &str, out: Var) -> Var {
         let info = LayerInfo { index: self.layer_index, kind, name: name.to_string() };
         self.layer_index += 1;
-        let applicable: Vec<Rc<dyn ForwardHook>> = self
-            .hooks
-            .iter()
-            .filter(|h| h.applies_to(kind))
-            .cloned()
-            .collect();
+        let applicable: Vec<Arc<dyn ForwardHook>> =
+            self.hooks.iter().filter(|h| h.applies_to(kind)).cloned().collect();
         if applicable.is_empty() {
             return out;
         }
@@ -240,7 +319,11 @@ impl fmt::Debug for Ctx {
 }
 
 /// A neural-network module: anything with a forward pass and parameters.
-pub trait Module {
+///
+/// `Send + Sync` so a `&dyn Module` can be shared across the parallel
+/// campaign executor's scoped worker threads; stateful layers keep their
+/// mutable state behind locks (e.g. `Dropout`'s RNG).
+pub trait Module: Send + Sync {
     /// Computes the module's output.
     fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var;
 
@@ -300,10 +383,36 @@ mod tests {
     }
 
     #[test]
+    fn param_override_is_thread_local_and_scoped() {
+        let p = Param::new("w", Tensor::zeros([2]));
+        {
+            let _guard = p.override_local(Tensor::ones([2]));
+            assert_eq!(p.get().as_slice(), &[1.0, 1.0]);
+            // Another thread still sees the clean shared value.
+            std::thread::scope(|s| {
+                s.spawn(|| assert_eq!(p.get().as_slice(), &[0.0, 0.0]));
+            });
+        }
+        // Guard dropped: the override is gone.
+        assert_eq!(p.get().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_override_nests() {
+        let p = Param::new("w", Tensor::zeros([1]));
+        let _outer = p.override_local(Tensor::from_vec(vec![1.0], [1]));
+        {
+            let _inner = p.override_local(Tensor::from_vec(vec![2.0], [1]));
+            assert_eq!(p.get().as_slice(), &[2.0]);
+        }
+        assert_eq!(p.get().as_slice(), &[1.0]);
+    }
+
+    #[test]
     fn hooks_compose_in_order() {
         let mut ctx = Ctx::inference();
-        ctx.add_hook(Rc::new(DoubleHook));
-        ctx.add_hook(Rc::new(AddOneHook));
+        ctx.add_hook(Arc::new(DoubleHook));
+        ctx.add_hook(Arc::new(AddOneHook));
         let x = ctx.input(Tensor::from_vec(vec![3.0], [1]));
         let y = ctx.hook_output(LayerKind::Conv, "c1", x);
         // (3*2) + 1 = 7
@@ -313,7 +422,7 @@ mod tests {
     #[test]
     fn hook_kind_filter() {
         let mut ctx = Ctx::inference();
-        ctx.add_hook(Rc::new(DoubleHook)); // conv/linear only
+        ctx.add_hook(Arc::new(DoubleHook)); // conv/linear only
         let x = ctx.input(Tensor::from_vec(vec![3.0], [1]));
         let y = ctx.hook_output(LayerKind::Activation, "relu", x);
         assert_eq!(y.value().as_slice(), &[3.0]);
@@ -332,7 +441,7 @@ mod tests {
     #[test]
     fn hooked_training_pass_uses_ste() {
         let mut ctx = Ctx::training();
-        ctx.add_hook(Rc::new(DoubleHook));
+        ctx.add_hook(Arc::new(DoubleHook));
         let p = Param::new("w", Tensor::from_vec(vec![5.0], [1]));
         let w = ctx.var_of(&p);
         let y = ctx.hook_output(LayerKind::Linear, "fc", w.clone());

@@ -124,12 +124,7 @@ impl LayerNorm {
 impl Module for LayerNorm {
     fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
         let nd = x.shape().ndim();
-        assert_eq!(
-            x.shape().dims()[nd - 1],
-            self.dim,
-            "{}: last-dim mismatch",
-            self.name
-        );
+        assert_eq!(x.shape().dims()[nd - 1], self.dim, "{}: last-dim mismatch", self.name);
         let mean = x.mean_axes_keepdim(&[nd - 1]);
         let xc = x.sub(&mean);
         let var = xc.mul(&xc).mean_axes_keepdim(&[nd - 1]);

@@ -103,14 +103,8 @@ impl Adam {
         for (param, var) in ctx.bindings() {
             let Some(g) = grads.get(var) else { continue };
             let key = param.key();
-            let m = self
-                .m
-                .entry(key)
-                .or_insert_with(|| Tensor::zeros(g.shape().clone()));
-            let v = self
-                .v
-                .entry(key)
-                .or_insert_with(|| Tensor::zeros(g.shape().clone()));
+            let m = self.m.entry(key).or_insert_with(|| Tensor::zeros(g.shape().clone()));
+            let v = self.v.entry(key).or_insert_with(|| Tensor::zeros(g.shape().clone()));
             for i in 0..g.numel() {
                 let gi = g.as_slice()[i];
                 m.as_mut_slice()[i] = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;

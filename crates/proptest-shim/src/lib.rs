@@ -1,0 +1,270 @@
+#![warn(missing_docs)]
+
+//! Minimal in-tree property-testing shim, API-compatible with the subset
+//! of [proptest](https://docs.rs/proptest) this workspace uses, so the
+//! property suites run with **no registry access**.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs verbatim; re-run
+//!   with the printed values to debug.
+//! - **Deterministic by default.** Cases are generated from a fixed seed
+//!   (overridable via the `PROPTEST_SEED` environment variable), so CI
+//!   runs are reproducible.
+//! - **Rejection via [`prop_assume!`]** skips the case rather than
+//!   resampling; a test where every case is rejected fails loudly.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(…)]` header), numeric range strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], [`prop_assert!`],
+//! [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Per-suite configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Test-runner internals used by the expansion of [`proptest!`].
+pub mod test_runner {
+    use super::*;
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs — skip, don't fail.
+        Reject,
+        /// A `prop_assert…!` failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a formatted message.
+        #[must_use]
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Drives the cases of one property.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        rng: StdRng,
+        name: &'static str,
+        rejected: u32,
+        passed: u32,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the property `name`.
+        ///
+        /// The RNG seed combines `PROPTEST_SEED` (default 0) with the
+        /// property name, so different properties explore different
+        /// streams but every run is reproducible.
+        #[must_use]
+        pub fn new(config: &ProptestConfig, name: &'static str) -> Self {
+            let base: u64 =
+                std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+            let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+            TestRunner {
+                cases: config.cases,
+                rng: StdRng::seed_from_u64(rand::mix64(base ^ name_hash)),
+                name,
+                rejected: 0,
+                passed: 0,
+            }
+        }
+
+        /// Number of cases to attempt.
+        #[must_use]
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The generator strategies sample from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Records one case's outcome, panicking on failure.
+        ///
+        /// # Panics
+        ///
+        /// Panics with the case description if the case failed.
+        pub fn handle(&mut self, case: u32, result: Result<(), TestCaseError>, inputs: &str) {
+            match result {
+                Ok(()) => self.passed += 1,
+                Err(TestCaseError::Reject) => self.rejected += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest property `{}` failed at case {case}: {msg}\n    inputs: {inputs}\n    \
+                     (no shrinking in the in-tree shim; re-run with these inputs to debug)",
+                    self.name
+                ),
+            }
+        }
+
+        /// Final bookkeeping: a property where every case was rejected
+        /// never tested anything, which is itself a bug.
+        ///
+        /// # Panics
+        ///
+        /// Panics if all cases were rejected.
+        pub fn finish(&self) {
+            assert!(
+                self.passed > 0 || self.cases == 0,
+                "proptest property `{}` rejected all {} cases via prop_assume!",
+                self.name,
+                self.rejected
+            );
+        }
+    }
+}
+
+/// Strategies for collections (mirror of `proptest::collection`).
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// The glob-import surface (mirror of `proptest::prelude`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// item expands to a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`] — one expansion per `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    ( config = $config:expr;
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::sample(&$strategy, runner.rng());)*
+                let inputs = {
+                    let mut s = String::new();
+                    $(
+                        if !s.is_empty() { s.push_str(", "); }
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}", &$arg));
+                    )*
+                    s
+                };
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body Ok(()) })();
+                runner.handle(case, result, &inputs);
+            }
+            runner.finish();
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the generating inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

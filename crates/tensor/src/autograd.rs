@@ -482,7 +482,8 @@ impl Var {
         let in_shape = x.shape().clone();
         self.unary(out, move |g, store| {
             // Broadcast g back to the input shape and divide by count.
-            let expanded = ops::add(&ops::scale(g, 1.0 / count as f32), &Tensor::zeros(in_shape.clone()));
+            let expanded =
+                ops::add(&ops::scale(g, 1.0 / count as f32), &Tensor::zeros(in_shape.clone()));
             store.accumulate(ix, expanded);
         })
     }
@@ -512,11 +513,7 @@ impl Var {
     pub fn apply_ste(&self, f: impl Fn(&Tensor) -> Tensor) -> Var {
         let x = self.value();
         let out = f(&x);
-        assert_eq!(
-            out.shape(),
-            x.shape(),
-            "apply_ste function must preserve shape"
-        );
+        assert_eq!(out.shape(), x.shape(), "apply_ste function must preserve shape");
         let ix = self.id;
         self.unary(out, move |g, store| {
             store.accumulate(ix, g.clone());
@@ -539,12 +536,9 @@ impl Var {
             assert!(t < c, "target {} out of range for {} classes", t, c);
         }
         let logp = ops::log_softmax_lastdim(&x);
-        let loss = -targets
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| logp.as_slice()[i * c + t])
-            .sum::<f32>()
-            / n as f32;
+        let loss =
+            -targets.iter().enumerate().map(|(i, &t)| logp.as_slice()[i * c + t]).sum::<f32>()
+                / n as f32;
         let ix = self.id;
         let probs = ops::softmax_lastdim(&x);
         let tv = targets.to_vec();
@@ -568,10 +562,7 @@ impl Var {
     /// Panics if called on a tape that was not recording.
     pub fn backward(&self) -> GradStore {
         let inner = self.tape.inner.borrow();
-        assert!(
-            inner.recording || !inner.entries.is_empty(),
-            "backward() on a non-recording tape"
-        );
+        assert!(inner.recording || !inner.entries.is_empty(), "backward() on a non-recording tape");
         let mut store = GradStore::new(inner.values.len());
         store.accumulate(self.id, Tensor::ones(inner.values[self.id].shape().clone()));
         for entry in inner.entries.iter().rev() {
@@ -606,10 +597,7 @@ mod tests {
             xm.as_mut_slice()[i] -= eps;
             let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
             let got = analytic.as_slice()[i];
-            assert!(
-                (got - fd).abs() < tol,
-                "grad[{i}] analytic={got} fd={fd}"
-            );
+            assert!((got - fd).abs() < tol, "grad[{i}] analytic={got} fd={fd}");
         }
     }
 
@@ -646,23 +634,9 @@ mod tests {
         let loss = a.matmul(&b).sum_all();
         let g = tape_backward_loss(&loss);
         let ga = g.get(&a).unwrap().clone();
-        fd_check(
-            |t| matmul(t, &b0).sum_all(),
-            &a0,
-            &ga,
-            1e-2,
-            1e-2,
-            &[0, 5, 11],
-        );
+        fd_check(|t| matmul(t, &b0).sum_all(), &a0, &ga, 1e-2, 1e-2, &[0, 5, 11]);
         let gb = g.get(&b).unwrap().clone();
-        fd_check(
-            |t| matmul(&a0, t).sum_all(),
-            &b0,
-            &gb,
-            1e-2,
-            1e-2,
-            &[0, 3, 7],
-        );
+        fd_check(|t| matmul(&a0, t).sum_all(), &b0, &gb, 1e-2, 1e-2, &[0, 3, 7]);
     }
 
     fn tape_backward_loss(loss: &Var) -> GradStore {
@@ -711,12 +685,7 @@ mod tests {
         let gx = g.get(&x).unwrap().clone();
         let f = |t: &Tensor| {
             let lp = ops::log_softmax_lastdim(t);
-            -targets
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| lp.as_slice()[i * 4 + c])
-                .sum::<f32>()
-                / 3.0
+            -targets.iter().enumerate().map(|(i, &c)| lp.as_slice()[i * 4 + c]).sum::<f32>() / 3.0
         };
         fd_check(f, &x0, &gx, 1e-2, 1e-2, &[0, 5, 11]);
     }
@@ -824,10 +793,7 @@ mod tests {
         let g = a.div(&b).sum_all().backward();
         assert!(g.get(&a).unwrap().allclose(&Tensor::from_vec(vec![0.5, 0.25], [2]), 1e-5));
         // d(a/b)/db = -a/b²
-        assert!(g
-            .get(&b)
-            .unwrap()
-            .allclose(&Tensor::from_vec(vec![-0.75, 1.0 / 16.0], [2]), 1e-5));
+        assert!(g.get(&b).unwrap().allclose(&Tensor::from_vec(vec![-0.75, 1.0 / 16.0], [2]), 1e-5));
     }
 
     #[test]

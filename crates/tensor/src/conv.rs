@@ -176,14 +176,7 @@ pub fn conv2d_backward(
         // grad_x: col_grad = w^T [ckk, o] × grad_out_n [o, ohow]
         col_grad.fill(0.0);
         sgemm(ckk, o, oh * ow, &wt, go_n, &mut col_grad);
-        col2im(
-            &col_grad,
-            c,
-            h,
-            wd,
-            spec,
-            &mut gx[ni * c * h * wd..(ni + 1) * c * h * wd],
-        );
+        col2im(&col_grad, c, h, wd, spec, &mut gx[ni * c * h * wd..(ni + 1) * c * h * wd]);
     }
     (
         Tensor::from_vec(gx, [n, c, h, wd]),
@@ -228,7 +221,12 @@ pub fn maxpool2d(x: &Tensor, kernel: usize, stride: usize) -> (Tensor, Vec<usize
 }
 
 /// Backward of [`maxpool2d`]: routes each output gradient to its argmax.
-pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_numel: usize, input_dims: &[usize]) -> Tensor {
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_numel: usize,
+    input_dims: &[usize],
+) -> Tensor {
     let mut gx = vec![0.0f32; input_numel];
     for (g, &i) in grad_out.as_slice().iter().zip(argmax) {
         gx[i] += g;
@@ -366,14 +364,19 @@ mod tests {
     #[test]
     fn conv2d_matches_naive() {
         let mut rng = StdRng::seed_from_u64(3);
-        for &(c, o, h, k, s, p) in &[(1, 1, 5, 3, 1, 1), (3, 4, 8, 3, 2, 1), (2, 2, 6, 1, 1, 0), (3, 5, 7, 5, 2, 2)] {
+        for &(c, o, h, k, s, p) in
+            &[(1, 1, 5, 3, 1, 1), (3, 4, 8, 3, 2, 1), (2, 2, 6, 1, 1, 0), (3, 5, 7, 5, 2, 2)]
+        {
             let spec = Conv2dSpec::new(k, s, p);
             let x = Tensor::randn([2, c, h, h], &mut rng);
             let w = Tensor::randn([o, c, k, k], &mut rng);
             let b = Tensor::randn([o], &mut rng);
             let fast = conv2d(&x, &w, Some(&b), spec);
             let slow = conv2d_naive(&x, &w, Some(&b), spec);
-            assert!(fast.allclose(&slow, 1e-4), "conv mismatch at c={c},o={o},h={h},k={k},s={s},p={p}");
+            assert!(
+                fast.allclose(&slow, 1e-4),
+                "conv mismatch at c={c},o={o},h={h},k={k},s={s},p={p}"
+            );
         }
     }
 

@@ -11,20 +11,11 @@ use crate::tensor::Tensor;
 pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     if a.shape() == b.shape() {
         // Fast path: identical shapes.
-        let data = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
         return Tensor::from_vec(data, a.shape().clone());
     }
     let out_shape = Shape::broadcast(a.shape(), b.shape()).unwrap_or_else(|| {
-        panic!(
-            "shapes {:?} and {:?} are not broadcast-compatible",
-            a.shape(),
-            b.shape()
-        )
+        panic!("shapes {:?} and {:?} are not broadcast-compatible", a.shape(), b.shape())
     });
     let n = out_shape.numel();
     let mut out = Vec::with_capacity(n);

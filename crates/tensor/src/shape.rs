@@ -79,12 +79,7 @@ impl Shape {
         let mut off = 0;
         let mut stride = 1;
         for i in (0..self.0.len()).rev() {
-            assert!(
-                idx[i] < self.0[i],
-                "index {:?} out of bounds for shape {:?}",
-                idx,
-                self
-            );
+            assert!(idx[i] < self.0[i], "index {:?} out of bounds for shape {:?}", idx, self);
             off += idx[i] * stride;
             stride *= self.0[i];
         }
@@ -212,10 +207,7 @@ mod tests {
     #[test]
     fn broadcast_scalar() {
         let a = Shape::new(vec![2, 3]);
-        assert_eq!(
-            Shape::broadcast(&a, &Shape::scalar()),
-            Some(Shape::new(vec![2, 3]))
-        );
+        assert_eq!(Shape::broadcast(&a, &Shape::scalar()), Some(Shape::new(vec![2, 3])));
     }
 
     #[test]

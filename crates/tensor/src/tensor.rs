@@ -169,22 +169,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         let shape = shape.into();
-        assert_eq!(
-            self.numel(),
-            shape.numel(),
-            "cannot reshape {:?} to {:?}",
-            self.shape,
-            shape
-        );
+        assert_eq!(self.numel(), shape.numel(), "cannot reshape {:?} to {:?}", self.shape, shape);
         Tensor { shape, data: self.data.clone() }
     }
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` elementwise in place.
@@ -231,11 +222,7 @@ impl Tensor {
     /// True if `self` and `other` agree elementwise within `tol`.
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol + tol * b.abs())
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol + tol * b.abs())
     }
 }
 

@@ -5,11 +5,10 @@ use proptest::prelude::*;
 use tensor::{linalg, ops, Conv2dSpec, Tape, Tensor};
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-10.0f32..10.0, 1..max_len)
-        .prop_map(|v| {
-            let n = v.len();
-            Tensor::from_vec(v, [n])
-        })
+    prop::collection::vec(-10.0f32..10.0, 1..max_len).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, [n])
+    })
 }
 
 proptest! {

@@ -49,10 +49,7 @@ fn main() {
     let eps = 0.35;
     let adv = fgsm(&model, &x, &y, eps);
     println!("FGSM attack with eps = {eps}\n");
-    println!(
-        "{:<16} {:>12} {:>12} {:>14}",
-        "format", "clean acc", "adv acc", "attack damage"
-    );
+    println!("{:<16} {:>12} {:>12} {:>14}", "format", "clean acc", "adv acc", "attack damage");
     for spec in ["fp32", "fp16", "int:8", "fp:e4m3", "bfp:e5m5:tensor", "afp:e4m3", "posit:8:0"] {
         let ge = GoldenEye::parse(spec).expect("valid spec");
         let clean = accuracy(&ge.run(&model, x.clone()), &y);

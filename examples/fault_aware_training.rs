@@ -11,7 +11,7 @@ use models::{ResNet, ResNetConfig, SyntheticDataset};
 use nn::{Adam, Ctx, Module};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Trains a fresh tiny ResNet; `fault_prob > 0` makes it fault-aware.
 fn train_variant(fault_prob: f64, data: &SyntheticDataset) -> ResNet {
@@ -25,9 +25,8 @@ fn train_variant(fault_prob: f64, data: &SyntheticDataset) -> ResNet {
             let mut ctx = Ctx::training();
             if fault_prob > 0.0 {
                 fault_seed += 1;
-                ctx.add_hook(Rc::new(
-                    FaultyTrainingHook::parse("int:8", fault_prob, fault_seed)
-                        .expect("valid spec"),
+                ctx.add_hook(Arc::new(
+                    FaultyTrainingHook::parse("int:8", fault_prob, fault_seed).expect("valid spec"),
                 ));
             }
             let xv = ctx.input(x);
@@ -48,17 +47,12 @@ fn main() {
 
     let ge = GoldenEye::parse("int:8").expect("valid spec");
     let (x, y) = data.head_batch(16);
-    let cfg = CampaignConfig { injections_per_layer: 40, kind: SiteKind::Value, seed: 7 };
+    let cfg = CampaignConfig { injections_per_layer: 40, kind: SiteKind::Value, seed: 7, jobs: 1 };
     println!("\n{:<16} {:>12} {:>16}", "model", "accuracy", "avg dLoss (EI)");
     for (name, model) in [("conventional", &clean), ("fault-aware", &hardened)] {
         let acc = goldeneye::evaluate_accuracy(&ge, model, &data, 64, 32);
         let campaign = run_campaign(&ge, model, &x, &y, &cfg);
-        println!(
-            "{:<16} {:>11.1}% {:>16.4}",
-            name,
-            acc * 100.0,
-            campaign.avg_delta_loss()
-        );
+        println!("{:<16} {:>11.1}% {:>16.4}", name, acc * 100.0, campaign.avg_delta_loss());
     }
     println!("\nTraining through injected faults regularises the network toward");
     println!("fault-tolerant representations — the resilient-training routine");

@@ -25,17 +25,11 @@ fn main() {
     println!("baseline FP32 accuracy: {:.1}%\n", baseline * 100.0);
 
     // Candidate INT widths per layer, widest → narrowest.
-    let candidates: Vec<FormatSpec> = [16u32, 12, 8, 6, 4, 3]
-        .iter()
-        .map(|&b| FormatSpec::Int { bits: b })
-        .collect();
+    let candidates: Vec<FormatSpec> =
+        [16u32, 12, 8, 6, 4, 3].iter().map(|&b| FormatSpec::Int { bits: b }).collect();
     let probe = GoldenEye::parse("fp32").expect("valid spec");
     let (x, _) = data.head_batch(1);
-    let layers: Vec<usize> = probe
-        .discover_layers(&model, x)
-        .iter()
-        .map(|l| l.index)
-        .collect();
+    let layers: Vec<usize> = probe.discover_layers(&model, x).iter().map(|l| l.index).collect();
 
     let result = mixed_precision_search(
         &layers,
@@ -65,7 +59,11 @@ fn main() {
         ge = ge.with_layer_format(layer, candidates[ci].build());
     }
     let acc = evaluate_accuracy(&ge, &model, &data, 64, 32);
-    println!("mixed-precision accuracy: {:.1}% (threshold {:.1}%)", acc * 100.0, (baseline - 0.02) * 100.0);
+    println!(
+        "mixed-precision accuracy: {:.1}% (threshold {:.1}%)",
+        acc * 100.0,
+        (baseline - 0.02) * 100.0
+    );
     println!("\nA uniform-width format must satisfy its most sensitive layer;");
     println!("per-layer assignment shrinks the average width below that.");
 }

@@ -13,7 +13,7 @@ use models::{ResNet, ResNetConfig, SyntheticDataset};
 use nn::{Adam, Ctx, ForwardHook, LayerInfo, Module};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 use tensor::Tensor;
 
 /// A minimal emulation hook for training passes: quantise every hooked
@@ -39,7 +39,7 @@ fn train_with_format(spec: Option<&str>, data: &SyntheticDataset, epochs: usize)
             let mut ctx = Ctx::training();
             if let Some(s) = spec {
                 let format = s.parse::<FormatSpec>().expect("valid spec").build();
-                ctx.add_hook(Rc::new(QuantHook { format }));
+                ctx.add_hook(Arc::new(QuantHook { format }));
             }
             let xv = ctx.input(x);
             let logits = model.forward(&xv, &mut ctx);
@@ -64,7 +64,10 @@ fn main() {
     let data = SyntheticDataset::generate(128, 16, 4, 9);
     println!("training a tiny ResNet, native vs quantisation-aware:\n");
     let (loss_native, acc_native) = train_with_format(None, &data, 8);
-    println!("native FP32 training:     loss {loss_native:.3}, accuracy {:.1}%", acc_native * 100.0);
+    println!(
+        "native FP32 training:     loss {loss_native:.3}, accuracy {:.1}%",
+        acc_native * 100.0
+    );
     for spec in ["int:8", "fp:e4m3", "bfp:e5m5:b16"] {
         let (loss, acc) = train_with_format(Some(spec), &data, 8);
         println!(

@@ -31,14 +31,19 @@ fn main() {
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 25, kind: SiteKind::Value, seed: 1 },
+            &CampaignConfig { injections_per_layer: 25, kind: SiteKind::Value, seed: 1, jobs: 1 },
         );
         let meta = run_campaign(
             &ge,
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 25, kind: SiteKind::Metadata, seed: 1 },
+            &CampaignConfig {
+                injections_per_layer: 25,
+                kind: SiteKind::Metadata,
+                seed: 1,
+                jobs: 1,
+            },
         );
         for (v, m) in value.layers.iter().zip(&meta.layers) {
             println!(

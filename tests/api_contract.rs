@@ -2,8 +2,7 @@
 //! number-format families, including property-based invariants.
 
 use formats::{
-    AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, FormatSpec, IntQuant,
-    NumberFormat,
+    AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, FormatSpec, IntQuant, NumberFormat,
 };
 use proptest::prelude::*;
 use tensor::Tensor;
@@ -43,11 +42,7 @@ fn methods_3_and_4_roundtrip_on_quantized_values() {
             assert_eq!(bits.len() as u32, f.bit_width(), "{} bit width", f.name());
             let back = f.format_to_real(&bits, &q.meta, i);
             let tol = v.abs() * 1e-6;
-            assert!(
-                (back - v).abs() <= tol,
-                "{}: element {i} {v} -> {back}",
-                f.name()
-            );
+            assert!((back - v).abs() <= tol, "{}: element {i} {v} -> {back}", f.name());
         }
     }
 }

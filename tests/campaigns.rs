@@ -67,14 +67,14 @@ fn bfp_metadata_campaign_dominates_value_campaign() {
         &model,
         &x,
         &y,
-        &CampaignConfig { injections_per_layer: 20, kind: SiteKind::Value, seed: 5 },
+        &CampaignConfig { injections_per_layer: 20, kind: SiteKind::Value, seed: 5, jobs: 1 },
     );
     let meta = run_campaign(
         &ge,
         &model,
         &x,
         &y,
-        &CampaignConfig { injections_per_layer: 20, kind: SiteKind::Metadata, seed: 5 },
+        &CampaignConfig { injections_per_layer: 20, kind: SiteKind::Metadata, seed: 5, jobs: 1 },
     );
     assert!(meta.avg_delta_loss() > value.avg_delta_loss());
 }
@@ -82,11 +82,16 @@ fn bfp_metadata_campaign_dominates_value_campaign() {
 #[test]
 fn afp_average_resilience_beats_bfp() {
     // The paper's §IV-C: AFP is on average more resilient layer-wise than
-    // BFP for value and metadata errors.
+    // BFP for metadata errors. The mechanism: BFP's shared exponent is a
+    // wide register (8 bits for the bfloat16-derived BFP used in the
+    // paper), so one flip can rescale a whole tensor by up to 2^128,
+    // while AFP's exponent bias lives in a 4-bit register, bounding the
+    // worst-case rescale at 2^8.
     let (model, x, y) = setup();
-    let bfp = GoldenEye::parse("bfp:e5m5:tensor").unwrap();
+    let bfp = GoldenEye::parse("bfp:e8m7:tensor").unwrap();
     let afp = GoldenEye::parse("afp:e5m2").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 25, kind: SiteKind::Metadata, seed: 2 };
+    let cfg =
+        CampaignConfig { injections_per_layer: 25, kind: SiteKind::Metadata, seed: 2, jobs: 1 };
     let bfp_meta = run_campaign(&bfp, &model, &x, &y, &cfg);
     let afp_meta = run_campaign(&afp, &model, &x, &y, &cfg);
     assert!(
@@ -106,7 +111,7 @@ fn range_detector_reduces_delta_loss() {
     let plain = GoldenEye::parse("fp16").unwrap();
     let guarded = GoldenEye::parse("fp16").unwrap().with_range_detector(true);
     guarded.profile_ranges(&model, std::slice::from_ref(&x));
-    let cfg = CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 8 };
+    let cfg = CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 8, jobs: 1 };
     let unguarded_result = run_campaign(&plain, &model, &x, &y, &cfg);
     let guarded_result = run_campaign(&guarded, &model, &x, &y, &cfg);
     assert!(
@@ -138,13 +143,13 @@ fn campaign_stats_match_manual_replication() {
     // same seeds (full determinism across the stack).
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("int:8").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 100 };
+    let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 100, jobs: 1 };
     let result = run_campaign(&ge, &model, &x, &y, &cfg);
     let golden = ge.run(&model, x.clone());
     let layer0 = &result.layers[0];
     let mut manual = metrics::RunningStats::new();
     for i in 0..4 {
-        let seed = 100u64 + (layer0.layer * 4 + i) as u64;
+        let seed = goldeneye::trial_seed(100, layer0.layer as u64, i as u64);
         let plan = InjectionPlan::single(layer0.layer, SiteKind::Value);
         let (faulty, _) = ge.run_with_injection(&model, x.clone(), plan, seed);
         manual.push(compare_outcomes(&golden, &faulty, &y).delta_loss);

@@ -3,8 +3,8 @@
 //! qualitative relationships the paper's use case A relies on.
 
 use goldeneye::{accuracy_sweep, evaluate_accuracy, GoldenEye, LayerFilter, ParamSnapshot};
-use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer};
 use models::DeitConfig;
+use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer};
 use nn::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,12 +63,7 @@ fn accuracy_degrades_with_precision() {
     let acc: Vec<f32> = points.iter().map(|p| p.accuracy).collect();
     // Wide formats are lossless here; the 4-bit one must hurt.
     assert!((acc[0] - acc[1]).abs() < 0.05, "fp16 ≈ fp32");
-    assert!(
-        acc[3] < acc[0],
-        "e2m1 ({}) should lose accuracy vs fp32 ({})",
-        acc[3],
-        acc[0]
-    );
+    assert!(acc[3] < acc[0], "e2m1 ({}) should lose accuracy vs fp32 ({})", acc[3], acc[0]);
 }
 
 #[test]
@@ -81,10 +76,7 @@ fn adaptivfloat_beats_plain_fp_at_same_width() {
     let (model, data) = trained_cnn();
     let fp = accuracy_sweep(&model, &data, &["fp:e2m5:nodn"], 64, 32)[0].accuracy;
     let afp = accuracy_sweep(&model, &data, &["afp:e2m5"], 64, 32)[0].accuracy;
-    assert!(
-        afp >= fp,
-        "AFP e2m5 ({afp}) should be at least as accurate as FP e2m5 w/o DN ({fp})"
-    );
+    assert!(afp >= fp, "AFP e2m5 ({afp}) should be at least as accurate as FP e2m5 w/o DN ({fp})");
 }
 
 #[test]
@@ -126,10 +118,7 @@ fn posit_works_end_to_end() {
     let native = models::evaluate(&model, &data, 48, 16);
     let p16 = GoldenEye::parse("posit:16:1").unwrap();
     let acc16 = evaluate_accuracy(&p16, &model, &data, 48, 16);
-    assert!(
-        (acc16 - native).abs() < 0.05,
-        "posit16 ({acc16}) should track native ({native})"
-    );
+    assert!((acc16 - native).abs() < 0.05, "posit16 ({acc16}) should track native ({native})");
     let p8 = GoldenEye::parse("posit:8:0").unwrap();
     let (x, _) = data.head_batch(2);
     let layers = p8.discover_layers(&model, x.clone());
@@ -147,7 +136,7 @@ fn quantization_aware_training_converges() {
     // the straight-through estimator) must still reduce the loss.
     use goldeneye::FaultyTrainingHook;
     use nn::Adam;
-    use std::rc::Rc;
+    use std::sync::Arc;
     let mut rng = StdRng::seed_from_u64(91);
     let model = ResNet::new(ResNetConfig::tiny(4), &mut rng);
     let data = SyntheticDataset::generate(64, 16, 4, 92);
@@ -159,7 +148,7 @@ fn quantization_aware_training_converges() {
         for (x, y) in data.shuffled_batches(16, &mut shuffle) {
             let mut ctx = nn::Ctx::training();
             // p = 0: pure quantisation-aware training through int:8.
-            ctx.add_hook(Rc::new(FaultyTrainingHook::parse("int:8", 0.0, 0).unwrap()));
+            ctx.add_hook(Arc::new(FaultyTrainingHook::parse("int:8", 0.0, 0).unwrap()));
             let xv = ctx.input(x);
             let logits = model.forward(&xv, &mut ctx);
             let loss = logits.cross_entropy(&y);
@@ -170,10 +159,7 @@ fn quantization_aware_training_converges() {
         }
     }
     let first = first.unwrap();
-    assert!(
-        last < first * 0.7,
-        "QAT loss should fall: {first} → {last}"
-    );
+    assert!(last < first * 0.7, "QAT loss should fall: {first} → {last}");
     // And the trained model evaluates well under the format it saw.
     let ge = GoldenEye::parse("int:8").unwrap();
     let acc = evaluate_accuracy(&ge, &model, &data, 48, 16);

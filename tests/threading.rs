@@ -1,0 +1,126 @@
+//! Thread-safety contract of the campaign executor and the shared model
+//! state: parallel campaigns must be bit-identical to serial ones, and
+//! `ParamSnapshot` must restore a model even after a worker thread
+//! panicked while holding a parameter lock (lock poisoning).
+
+use goldeneye::{
+    run_campaign, run_weight_campaign, CampaignConfig, CampaignResult, GoldenEye, ParamSnapshot,
+};
+use inject::SiteKind;
+use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig};
+use nn::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (ResNet, tensor::Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let model = ResNet::new(ResNetConfig::tiny(8), &mut rng);
+    let data = SyntheticDataset::generate(64, 16, 4, 17);
+    train(
+        &model,
+        &data,
+        &TrainConfig { epochs: 5, batch_size: 16, lr: 3e-3, ..Default::default() },
+    );
+    let (x, y) = data.head_batch(8);
+    (model, x, y)
+}
+
+/// Exact (bitwise) equality of every per-layer statistic two campaign runs
+/// produce. `f32::to_bits` so that `-0.0 != 0.0` and NaNs would also be
+/// caught — "bit-identical" is the executor's contract, not "close".
+fn assert_bit_identical(a: &CampaignResult, b: &CampaignResult) {
+    assert_eq!(a.layers.len(), b.layers.len());
+    for (la, lb) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(la.layer, lb.layer);
+        assert_eq!(la.name, lb.name);
+        assert_eq!(la.injections, lb.injections, "layer {}", la.name);
+        for (sa, sb) in [(&la.delta_loss, &lb.delta_loss), (&la.mismatch, &lb.mismatch)] {
+            assert_eq!(sa.count(), sb.count(), "layer {}", la.name);
+            assert_eq!(sa.mean().to_bits(), sb.mean().to_bits(), "layer {}", la.name);
+            assert_eq!(sa.variance().to_bits(), sb.variance().to_bits(), "layer {}", la.name);
+            assert_eq!(sa.min(), sb.min(), "layer {}", la.name);
+            assert_eq!(sa.max(), sb.max(), "layer {}", la.name);
+        }
+    }
+}
+
+#[test]
+fn activation_campaign_is_deterministic_across_jobs() {
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    let cfg = CampaignConfig { injections_per_layer: 6, kind: SiteKind::Value, seed: 41, jobs: 1 };
+    let serial = run_campaign(&ge, &model, &x, &y, &cfg);
+    let parallel = run_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
+    assert_bit_identical(&serial, &parallel);
+}
+
+#[test]
+fn weight_campaign_is_deterministic_across_jobs() {
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("int:8").unwrap();
+    let cfg = CampaignConfig { injections_per_layer: 6, kind: SiteKind::Value, seed: 42, jobs: 1 };
+    let serial = run_weight_campaign(&ge, &model, &x, &y, &cfg);
+    let parallel = run_weight_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
+    assert_bit_identical(&serial, &parallel);
+    // Weight campaigns mutate shared parameter storage (quantise, then
+    // restore); after both runs the model must still produce the native
+    // forward pass — i.e. the restore really happened.
+    let native = GoldenEye::parse("fp32").unwrap();
+    let a = native.run(&model, x.clone());
+    let b = native.run(&model, x);
+    assert!(a.allclose(&b, 0.0), "model left in inconsistent state");
+}
+
+#[test]
+fn snapshot_restores_after_worker_thread_panics() {
+    let (model, x, _) = setup();
+    let ge = GoldenEye::parse("fp16").unwrap();
+    let before = ge.run(&model, x.clone());
+    let snap = ParamSnapshot::capture(&model);
+
+    // A worker thread dies mid-update while holding the write lock on a
+    // parameter, poisoning it. `Param`'s accessors treat poisoning as
+    // survivable (state is replaced wholesale, never left torn), so the
+    // snapshot restore — and every later forward pass — must still work.
+    let params = model.params();
+    let victim = params.iter().find(|p| p.name().ends_with("weight")).expect("has weights");
+    let joined = std::thread::scope(|s| {
+        s.spawn(|| {
+            victim.update(|t| {
+                let n = t.numel();
+                *t = tensor::Tensor::zeros([n]); // torn shape, then die
+                panic!("worker dies holding the param lock");
+            });
+        })
+        .join()
+    });
+    assert!(joined.is_err(), "worker was expected to panic");
+
+    snap.restore(&model);
+    let after = ge.run(&model, x);
+    assert!(
+        before.allclose(&after, 0.0),
+        "restore after poisoned lock must reproduce the pre-panic forward pass"
+    );
+}
+
+#[test]
+fn param_overrides_do_not_leak_across_threads() {
+    // The weight campaign installs faulty tensors via thread-local
+    // overrides; a concurrent reader on another thread must always see
+    // the clean value.
+    let (model, x, _) = setup();
+    let ge = GoldenEye::parse("fp32").unwrap();
+    let clean = ge.run(&model, x.clone());
+    let params = model.params();
+    let victim = params.iter().find(|p| p.name().ends_with("weight")).expect("has weights");
+    let _guard = victim.override_local(tensor::Tensor::zeros(victim.get().shape().dims()));
+    let overridden = ge.run(&model, x.clone());
+    assert!(!clean.allclose(&overridden, 1e-7), "override had no effect on this thread");
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let other = ge.run(&model, x.clone());
+            assert!(clean.allclose(&other, 0.0), "thread-local override leaked to another thread");
+        });
+    });
+}
