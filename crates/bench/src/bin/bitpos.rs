@@ -8,10 +8,14 @@
 use bench::{prepare_model, test_set, BenchArgs, ModelKind};
 use goldeneye::bitpos::bit_position_campaign;
 use goldeneye::GoldenEye;
+use std::time::Instant;
+use trace::Json;
 
 fn main() {
     let args = BenchArgs::parse();
     let trials = args.injections_per_layer(15);
+    let t_all = Instant::now();
+    let mut rows: Vec<Json> = Vec::new();
     let (model, _) = prepare_model(ModelKind::Resnet18);
     let (x, y) = test_set().head_batch(8);
     let probe = GoldenEye::parse("fp16").expect("valid spec");
@@ -31,6 +35,12 @@ fn main() {
                 r.delta_loss.mean(),
                 r.mismatch.mean() * 100.0
             );
+            rows.push(Json::obj([
+                ("spec", Json::from(spec)),
+                ("bit", Json::from(r.bit)),
+                ("delta_loss", Json::from_f32(r.delta_loss.mean())),
+                ("mismatch", Json::from_f32(r.mismatch.mean())),
+            ]));
         }
         let sign_share = if total > 0.0 { res[0].delta_loss.mean() / total } else { 0.0 };
         println!("sign bit share of total damage: {:.1}%\n", sign_share * 100.0);
@@ -38,4 +48,10 @@ fn main() {
     println!("Expected shape (paper): FP damage concentrates in exponent bits;");
     println!("BFP's value has no exponent, so its sign bit carries a larger");
     println!("share of the damage than FP's.");
+    let mut m = trace::RunManifest::new("bench bitpos")
+        .with_config("trials_per_bit", trials)
+        .with_config("layer", target)
+        .with_extra("rows", Json::Arr(rows));
+    m.wall_time_s = t_all.elapsed().as_secs_f64();
+    args.finish_run(m, None);
 }

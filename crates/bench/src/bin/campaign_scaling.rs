@@ -1,11 +1,16 @@
 //! Campaign-executor scaling: wall-clock of the same fault-injection
 //! campaign at 1, 2, 4, … worker threads, verifying both the speedup and
 //! the bit-identical-results contract of `goldeneye::run_campaign` /
-//! `run_weight_campaign`.
+//! `run_weight_campaign` — plus the tracing-overhead budget: the same
+//! serial campaign with structured tracing on must stay within ~2% of
+//! the untraced wall-clock (DESIGN.md §9).
 //!
 //! Trials are independent inferences, so the campaign is embarrassingly
 //! parallel; the executor's only serial parts are layer discovery, the
 //! golden run, and the statistics fold.
+//!
+//! Writes `BENCH_campaign.json` (override with `--out`): the run manifest
+//! with per-jobs timings and the measured tracing overhead.
 //!
 //! Run with: `cargo run --release -p bench --bin campaign_scaling
 //! [--injections N] [--jobs MAX]`
@@ -14,9 +19,29 @@ use bench::{prepare_model, test_set, BenchArgs, ModelKind};
 use goldeneye::{run_campaign, run_weight_campaign, CampaignConfig, CampaignResult, GoldenEye};
 use inject::SiteKind;
 use std::time::Instant;
+use trace::Json;
 
 fn layer_means(r: &CampaignResult) -> Vec<(f32, f32)> {
     r.layers.iter().map(|l| (l.delta_loss.mean(), l.mismatch.mean())).collect()
+}
+
+/// Best-of-`reps` wall-clock of one serial campaign (minimum is the
+/// noise-robust estimator for overhead comparisons).
+fn best_time(
+    reps: usize,
+    ge: &GoldenEye,
+    model: &dyn nn::Module,
+    x: &tensor::Tensor,
+    y: &[usize],
+    cfg: &CampaignConfig,
+) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            run_campaign(ge, model, x, y, cfg);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -30,6 +55,14 @@ fn main() {
     let (model, _) = prepare_model(ModelKind::Resnet18);
     let (x, y) = test_set().head_batch(8);
     let ge = GoldenEye::parse("fp:e4m3").expect("valid spec");
+
+    let mut manifest = trace::RunManifest::new("bench campaign_scaling")
+        .with_config("model", "resnet18")
+        .with_config("format", "fp_e4m3")
+        .with_config("injections_per_layer", n)
+        .with_config("max_jobs", max_jobs);
+    let t_all = Instant::now();
+    let mut timing_rows: Vec<Json> = Vec::new();
 
     println!("Campaign scaling ({n} injections/layer, resnet18, fp:e4m3)\n");
     println!(
@@ -62,8 +95,41 @@ fn main() {
                 if identical { "yes" } else { "NO" }
             );
             assert!(identical, "parallel campaign diverged from serial results");
+            timing_rows.push(Json::obj([
+                ("campaign", Json::from(if weight { "weight" } else { "activation" })),
+                ("jobs", Json::from(jobs)),
+                ("seconds", Json::Num(secs)),
+                ("speedup", Json::Num(speedup)),
+            ]));
             jobs *= 2;
         }
         println!();
     }
+
+    // Tracing-overhead budget: the same serial campaign with the event
+    // layer recording (ring-buffer sink, Info level) vs. off. Per-trial
+    // cost with tracing off is one relaxed atomic load, so the overhead
+    // target is <= 2% of wall-clock (best-of-3 to damp scheduler noise).
+    let cfg = CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 17, jobs: 1 };
+    let off = best_time(3, &ge, model.as_ref(), &x, &y, &cfg);
+    trace::capture_events(true);
+    let on = best_time(3, &ge, model.as_ref(), &x, &y, &cfg);
+    trace::capture_events(false);
+    let events = trace::take_events().len();
+    let overhead = on / off - 1.0;
+    println!(
+        "Tracing overhead (serial, {n} inj/layer): off {off:.3}s, on {on:.3}s \
+         ({:+.2}%, {events} buffered events) — budget 2%{}",
+        overhead * 100.0,
+        if overhead <= 0.02 { "" } else { "  ** OVER BUDGET **" }
+    );
+
+    manifest.wall_time_s = t_all.elapsed().as_secs_f64();
+    manifest = manifest
+        .with_extra("timings", Json::Arr(timing_rows))
+        .with_extra("trace_overhead", Json::Num(overhead))
+        .with_extra("trace_overhead_budget", Json::Num(0.02))
+        .with_extra("untraced_s", Json::Num(off))
+        .with_extra("traced_s", Json::Num(on));
+    args.finish_run(manifest, Some("BENCH_campaign.json"));
 }

@@ -94,6 +94,8 @@ fn main() {
     let args = BenchArgs::parse();
     let runs = if args.full { 100 } else { 10 };
     let batch = 32;
+    let t_all = Instant::now();
+    let mut rows: Vec<trace::Json> = Vec::new();
     println!("Figure 3: runtime per inference batch (batch={batch}, {runs} timed runs)\n");
     for kind in [ModelKind::Resnet18, ModelKind::DeitTiny] {
         let (model, _) = prepare_model(kind);
@@ -117,6 +119,14 @@ fn main() {
                 100.0 * std / mean,
                 median / native_ms
             );
+            rows.push(trace::Json::obj([
+                ("model", trace::Json::from(kind.name())),
+                ("config", trace::Json::from(cfg.label)),
+                ("median_ms", trace::Json::Num(*median)),
+                ("mean_ms", trace::Json::Num(*mean)),
+                ("std_ms", trace::Json::Num(*std)),
+                ("vs_native", trace::Json::Num(median / native_ms)),
+            ]));
         }
         println!();
     }
@@ -147,4 +157,10 @@ fn main() {
             serial / parallel
         );
     }
+    let mut m = trace::RunManifest::new("bench fig3")
+        .with_config("batch", batch)
+        .with_config("runs", runs)
+        .with_extra("rows", trace::Json::Arr(rows));
+    m.wall_time_s = t_all.elapsed().as_secs_f64();
+    args.finish_run(m, None);
 }

@@ -7,13 +7,18 @@
 //!
 //! Run with: `cargo run --release -p bench --bin fig6`
 
-use bench::{prepare_model, test_set, ModelKind, TEST_N};
+use bench::{prepare_model, test_set, BenchArgs, ModelKind, TEST_N};
 use goldeneye::dse::{search, DseFamily};
 use goldeneye::{evaluate_accuracy, GoldenEye};
+use std::time::Instant;
+use trace::Json;
 
 fn main() {
+    let args = BenchArgs::parse();
     let data = test_set();
     let threshold_drop = 0.02; // 2% of absolute accuracy
+    let t_all = Instant::now();
+    let mut rows: Vec<Json> = Vec::new();
     println!("Figure 6: DSE node traversal (threshold: baseline − {threshold_drop})\n");
     for kind in [ModelKind::Resnet50, ModelKind::DeitTiny] {
         let (model, baseline) = prepare_model(kind);
@@ -43,6 +48,14 @@ fn main() {
                     n.accuracy * 100.0,
                     if n.accepted { "ok" } else { "REJECT" }
                 );
+                rows.push(Json::obj([
+                    ("model", Json::from(kind.name())),
+                    ("family", Json::from(label)),
+                    ("node", Json::from(n.index)),
+                    ("spec", Json::from(n.spec.to_string())),
+                    ("accuracy", Json::from_f32(n.accuracy)),
+                    ("accepted", Json::from(n.accepted)),
+                ]));
             }
             match &result.best {
                 Some(best) => println!("   best: {best}"),
@@ -53,4 +66,10 @@ fn main() {
     }
     println!("Expected shape (paper): ≤16 nodes per family; more than half accepted;");
     println!("optimal configs differ between the CNN and the transformer.");
+    let mut m = trace::RunManifest::new("bench fig6")
+        .with_config("threshold_drop", threshold_drop)
+        .with_config("eval_samples", TEST_N)
+        .with_extra("nodes", Json::Arr(rows));
+    m.wall_time_s = t_all.elapsed().as_secs_f64();
+    args.finish_run(m, None);
 }

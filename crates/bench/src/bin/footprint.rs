@@ -4,12 +4,14 @@
 //!
 //! Run with: `cargo run --release -p bench --bin footprint`
 
-use bench::{prepare_model, test_set, ModelKind};
+use bench::{prepare_model, test_set, BenchArgs, ModelKind};
 use formats::footprint::footprint;
 use formats::FormatSpec;
 use nn::{Ctx, ForwardHook, LayerInfo, LayerKind};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use tensor::Tensor;
+use trace::Json;
 
 /// Captures every instrumented layer output of one inference.
 struct Capture(Mutex<Vec<Tensor>>);
@@ -25,6 +27,9 @@ impl ForwardHook for Capture {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
+    let t_all = Instant::now();
+    let mut rows: Vec<Json> = Vec::new();
     let (model, _) = prepare_model(ModelKind::Resnet18);
     let (x, _) = test_set().head_batch(8);
     let cap = Arc::new(Capture(Mutex::new(Vec::new())));
@@ -71,8 +76,21 @@ fn main() {
             total as f64 / elements as f64,
             (elements * 32) as f64 / total as f64
         );
+        rows.push(Json::obj([
+            ("spec", Json::from(spec)),
+            ("data_bits", Json::from(data_bits)),
+            ("metadata_bits", Json::from(metadata_bits)),
+            ("bits_per_element", Json::Num(total as f64 / elements as f64)),
+            ("vs_fp32", Json::Num((elements * 32) as f64 / total as f64)),
+        ]));
     }
     println!("\nShape (paper §II-A): BFP stores one exponent per block/tensor,");
     println!("so its bits/element approaches 1 + mantissa; AFP pays 4 bits per");
     println!("tensor; INT pays one 32-bit scale per tensor.");
+    let mut m = trace::RunManifest::new("bench footprint")
+        .with_config("model", "resnet18")
+        .with_extra("elements", elements)
+        .with_extra("rows", Json::Arr(rows));
+    m.wall_time_s = t_all.elapsed().as_secs_f64();
+    args.finish_run(m, None);
 }

@@ -130,12 +130,19 @@ pub struct BenchArgs {
     /// `--jobs N`: campaign worker threads (1 = serial, 0 = all cores).
     /// Campaign results are bit-identical across values.
     pub jobs: usize,
+    /// `--out <path>`: write the run manifest as pretty JSON.
+    pub out: Option<PathBuf>,
 }
 
 impl BenchArgs {
     /// Parses flags from `std::env::args`.
+    ///
+    /// Besides the experiment knobs, every bench binary understands the
+    /// observability flags: `--out <path>` (run-manifest JSON),
+    /// `--trace-out <path>` (structured JSONL events), `--log-level
+    /// <lvl>` / `-v` / `-q` (verbosity gate).
     pub fn parse() -> Self {
-        let mut args = BenchArgs { full: false, injections: None, jobs: 1 };
+        let mut args = BenchArgs { full: false, injections: None, jobs: 1, out: None };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -146,6 +153,23 @@ impl BenchArgs {
                 "--jobs" => {
                     args.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or(1);
                 }
+                "--out" => args.out = it.next().map(PathBuf::from),
+                "--trace-out" => {
+                    if let Some(path) = it.next() {
+                        trace::open_jsonl(std::path::Path::new(&path))
+                            .unwrap_or_else(|e| panic!("cannot open --trace-out `{path}`: {e}"));
+                    }
+                }
+                "--log-level" => {
+                    if let Some(l) = it.next() {
+                        match trace::Level::parse(&l) {
+                            Some(level) => trace::set_level(level),
+                            None => eprintln!("[bench] ignoring bad --log-level `{l}`"),
+                        }
+                    }
+                }
+                "-v" | "--verbose" => trace::set_level(trace::Level::Debug),
+                "-q" | "--quiet" => trace::set_level(trace::Level::Warn),
                 other => eprintln!("[bench] ignoring unknown flag {other}"),
             }
         }
@@ -156,6 +180,22 @@ impl BenchArgs {
     /// default.
     pub fn injections_per_layer(&self, quick_default: usize) -> usize {
         self.injections.unwrap_or(if self.full { 1000 } else { quick_default })
+    }
+
+    /// Finishes a bench run: snapshots the trace counters into `m`, emits
+    /// it on any active trace sinks, and writes it to `--out` (or
+    /// `default_out`, when given) as pretty JSON.
+    pub fn finish_run(&self, mut m: trace::RunManifest, default_out: Option<&str>) {
+        m.snapshot_counters();
+        m.emit();
+        trace::flush();
+        let path = self.out.clone().or_else(|| default_out.map(PathBuf::from));
+        if let Some(path) = path {
+            match m.write(&path) {
+                Ok(()) => eprintln!("[bench] manifest written to {}", path.display()),
+                Err(e) => eprintln!("[bench] cannot write manifest {}: {e}", path.display()),
+            }
+        }
     }
 }
 

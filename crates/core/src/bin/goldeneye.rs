@@ -9,11 +9,18 @@
 //! goldeneye evaluate --model cnn --spec int:8 [--epochs 8]
 //! goldeneye campaign --model cnn --spec bfp:e5m5:tensor --site metadata --injections 20
 //! goldeneye dse --model cnn --family afp [--drop 0.02]
+//! goldeneye validate-trace run.jsonl
 //! ```
 //!
 //! Models are tiny synthetic-task networks trained on the spot (seconds),
 //! so every subcommand is self-contained; the bench binaries cover the
 //! paper-scale experiments.
+//!
+//! Observability flags (valid on every subcommand): `--trace-out <path>`
+//! appends structured JSONL events (spans, per-trial records, the run
+//! manifest); `--manifest <path>` writes the run manifest as pretty JSON;
+//! `--log-level <error|warn|info|debug|trace>`, `-v` (debug), and
+//! `--quiet` (warn) gate both terminal output and event verbosity.
 
 use goldeneye::dse::{accuracy_eval, search, DseFamily};
 use goldeneye::{evaluate_accuracy_jobs, run_campaign, CampaignConfig, GoldenEye};
@@ -25,22 +32,97 @@ use nn::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::time::Instant;
+use trace::{logln, outln, Level, RunManifest};
+
+/// Observability flags shared by every subcommand, stripped from the
+/// argument list before dispatch.
+struct GlobalFlags {
+    /// `--manifest <path>`: write the run manifest as pretty JSON.
+    manifest: Option<std::path::PathBuf>,
+}
+
+impl GlobalFlags {
+    /// Extracts `--trace-out`, `--manifest`, `--log-level`, `-v`, and
+    /// `--quiet` from `args` (removing them), configures the global
+    /// tracer accordingly, and returns the remaining flags.
+    fn extract(args: &mut Vec<String>) -> Result<GlobalFlags, String> {
+        let mut take_value = |name: &str| -> Result<Option<String>, String> {
+            match args.iter().position(|a| a == name) {
+                None => Ok(None),
+                Some(i) => {
+                    if i + 1 >= args.len() {
+                        return Err(format!("{name} needs a value"));
+                    }
+                    let v = args.remove(i + 1);
+                    args.remove(i);
+                    Ok(Some(v))
+                }
+            }
+        };
+        let trace_out = take_value("--trace-out")?;
+        let manifest = take_value("--manifest")?;
+        let log_level = take_value("--log-level")?;
+        let mut level = match log_level {
+            None => Level::Info,
+            Some(s) => Level::parse(&s)
+                .ok_or_else(|| format!("bad --log-level `{s}` (error|warn|info|debug|trace)"))?,
+        };
+        if let Some(i) = args.iter().position(|a| a == "-v" || a == "--verbose") {
+            args.remove(i);
+            level = Level::Debug;
+        }
+        if let Some(i) = args.iter().position(|a| a == "-q" || a == "--quiet") {
+            args.remove(i);
+            level = Level::Warn;
+        }
+        trace::set_level(level);
+        if let Some(path) = &trace_out {
+            trace::open_jsonl(std::path::Path::new(path))
+                .map_err(|e| format!("cannot open --trace-out `{path}`: {e}"))?;
+        }
+        Ok(GlobalFlags { manifest: manifest.map(Into::into) })
+    }
+
+    /// Finishes a run: emits `m` on the active trace sinks and writes it
+    /// to the `--manifest` path, if one was given.
+    fn finish(&self, mut m: RunManifest) -> Result<(), String> {
+        m.snapshot_counters();
+        m.emit();
+        if let Some(path) = &self.manifest {
+            m.write(path)
+                .map_err(|e| format!("cannot write manifest `{}`: {e}", path.display()))?;
+            logln!(Level::Info, "manifest written to {}", path.display());
+        }
+        Ok(())
+    }
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let global = match GlobalFlags::extract(&mut args) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("ranges") => cmd_ranges(),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("quantize") => cmd_quantize(&args[1..]),
-        Some("evaluate") => cmd_evaluate(&args[1..]),
-        Some("campaign") => cmd_campaign(&args[1..]),
-        Some("dse") => cmd_dse(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..], &global),
+        Some("campaign") => cmd_campaign(&args[1..], &global),
+        Some("dse") => cmd_dse(&args[1..], &global),
+        Some("validate-trace") => cmd_validate_trace(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
         }
         Some(other) => Err(format!("unknown subcommand `{other}` (try `goldeneye help`)")),
     };
+    trace::flush();
+    trace::close_jsonl();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -63,7 +145,14 @@ fn print_usage() {
            campaign --model cnn|vit --spec <spec>  per-layer delta-loss injection campaign\n\
                     [--site value|metadata] [--injections N] [--jobs N]\n\
            dse --model cnn|vit --family <fam>      binary-tree format search\n\
-               [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp\n\n\
+               [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp\n\
+           validate-trace <file.jsonl>             check a --trace-out file line by line\n\n\
+         OBSERVABILITY (any subcommand):\n\
+           --trace-out <path>   append structured JSONL events (spans, trials, manifest)\n\
+           --manifest <path>    write the run manifest as pretty JSON\n\
+           --log-level <lvl>    error|warn|info|debug|trace (default info)\n\
+           -v | --verbose       shorthand for --log-level debug\n\
+           -q | --quiet         shorthand for --log-level warn (suppresses result output)\n\n\
          --jobs N runs on N worker threads (0 = all cores); results are\n\
          bit-identical to --jobs 1.\n\n\
          FORMAT SPECS: fp:eXmY[:nodn] fxp:1:I:F int:B bfp:eXmY:(bN|tensor) afp:eXmY posit:N:ES\n\
@@ -93,12 +182,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let ge = GoldenEye::parse(spec).map_err(|e| e.to_string())?;
     let f = ge.format();
     let r = f.dynamic_range();
-    println!("format:          {}", f.name());
-    println!("data bits/value: {}", f.bit_width());
-    println!("abs max:         {:.4e}", r.max_abs);
-    println!("abs min (≠0):    {:.4e}", r.min_abs);
-    println!("range:           {:.2} dB", r.db());
-    println!(
+    outln!("format:          {}", f.name());
+    outln!("data bits/value: {}", f.bit_width());
+    outln!("abs max:         {:.4e}", r.max_abs);
+    outln!("abs min (≠0):    {:.4e}", r.min_abs);
+    outln!("range:           {:.2} dB", r.db());
+    outln!(
         "metadata:        {}",
         if f.supports_metadata_injection() { "injectable" } else { "none" }
     );
@@ -116,20 +205,16 @@ fn cmd_quantize(args: &[String]) -> Result<(), String> {
     let f = ge.format();
     let n = values.len();
     let q = f.real_to_format_tensor(&tensor::Tensor::from_vec(values.clone(), [n]));
-    println!("{:>14} {:>14} {:>20}", "input", "quantised", "bits");
+    outln!("{:>14} {:>14} {:>20}", "input", "quantised", "bits");
     for (i, &x) in values.iter().enumerate() {
         let v = q.values.as_slice()[i];
         let bits = f.real_to_format(v, &q.meta, i);
-        println!("{x:>14.6} {v:>14.6} {:>20}", bits.to_string());
+        outln!("{x:>14.6} {v:>14.6} {:>20}", bits.to_string());
     }
     if q.meta.word_count() > 0 {
-        println!(
-            "\nmetadata ({} word(s), {} bits each):",
-            q.meta.word_count(),
-            q.meta.word_width()
-        );
+        outln!("\nmetadata ({} word(s), {} bits each):", q.meta.word_count(), q.meta.word_width());
         for w in 0..q.meta.word_count().min(8) {
-            println!("  word {w}: {}", q.meta.word_bits(w).expect("in range"));
+            outln!("  word {w}: {}", q.meta.word_bits(w).expect("in range"));
         }
     }
     Ok(())
@@ -147,7 +232,8 @@ fn demo_model(
         other => return Err(format!("unknown model `{other}` (cnn|vit)")),
     };
     let data = SyntheticDataset::generate(128, 16, 4, 7);
-    eprintln!("training {kind} ({epochs} epochs on the synthetic task)...");
+    logln!(Level::Info, "training {kind} ({epochs} epochs on the synthetic task)...");
+    let _span = trace::span!("train", epochs = epochs);
     train(
         model.as_ref(),
         &data,
@@ -157,20 +243,29 @@ fn demo_model(
     Ok((model, data, baseline))
 }
 
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+fn cmd_evaluate(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
     let spec = flag(args, "--spec").ok_or("evaluate needs --spec")?;
     let epochs = flag(args, "--epochs").and_then(|e| e.parse().ok()).unwrap_or(8);
     let jobs = jobs_flag(args)?;
     let ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
     let (model, data, baseline) = demo_model(&model_kind, epochs)?;
+    let t0 = Instant::now();
     let acc = evaluate_accuracy_jobs(&ge, model.as_ref(), &data, 64, 32, jobs);
-    println!("native FP32 accuracy: {:.1}%", baseline * 100.0);
-    println!("{} accuracy:     {:.1}%", ge.format().name(), acc * 100.0);
-    Ok(())
+    let wall = t0.elapsed().as_secs_f64();
+    outln!("native FP32 accuracy: {:.1}%", baseline * 100.0);
+    outln!("{} accuracy:     {:.1}%", ge.format().name(), acc * 100.0);
+    let mut m = RunManifest::new("goldeneye evaluate")
+        .with_config("model", model_kind.as_str())
+        .with_config("spec", ge.format().name())
+        .with_config("jobs", jobs)
+        .with_extra("baseline_accuracy", baseline)
+        .with_extra("accuracy", acc);
+    m.wall_time_s = wall;
+    global.finish(m)
 }
 
-fn cmd_campaign(args: &[String]) -> Result<(), String> {
+fn cmd_campaign(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
     let spec = flag(args, "--spec").ok_or("campaign needs --spec")?;
     let site = flag(args, "--site").unwrap_or_else(|| "value".into());
@@ -187,16 +282,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     }
     let (model, data, _) = demo_model(&model_kind, 8)?;
     let (x, y) = data.head_batch(8);
-    let result = run_campaign(
-        &ge,
-        model.as_ref(),
-        &x,
-        &y,
-        &CampaignConfig { injections_per_layer: injections, kind, seed: 0, jobs },
-    );
-    println!("{:<6} {:<18} {:>12} {:>12}", "layer", "name", "dLoss", "mismatch");
+    let cfg = CampaignConfig { injections_per_layer: injections, kind, seed: 0, jobs };
+    let t0 = Instant::now();
+    let result = run_campaign(&ge, model.as_ref(), &x, &y, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    outln!("{:<6} {:<18} {:>12} {:>12}", "layer", "name", "dLoss", "mismatch");
     for l in &result.layers {
-        println!(
+        outln!(
             "{:<6} {:<18} {:>12.4} {:>11.1}%",
             l.layer,
             l.name,
@@ -204,11 +296,13 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             l.mismatch.mean() * 100.0
         );
     }
-    println!("\navg delta-loss across layers: {:.4}", result.avg_delta_loss());
-    Ok(())
+    outln!("\navg delta-loss across layers: {:.4}", result.avg_delta_loss());
+    let mut m = result.to_manifest("goldeneye campaign", &cfg, wall);
+    m.config.push(("model".to_string(), trace::Json::from(model_kind.as_str())));
+    global.finish(m)
 }
 
-fn cmd_dse(args: &[String]) -> Result<(), String> {
+fn cmd_dse(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     let model_kind = flag(args, "--model").unwrap_or_else(|| "cnn".into());
     let family = flag(args, "--family").ok_or("dse needs --family")?;
     let drop = flag(args, "--drop").and_then(|d| d.parse().ok()).unwrap_or(0.02);
@@ -222,10 +316,12 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown family `{other}` (fp|fxp|int|bfp|afp)")),
     };
     let (model, data, baseline) = demo_model(&model_kind, 8)?;
-    println!("baseline accuracy: {:.1}%, allowed drop {:.1}%", baseline * 100.0, drop * 100.0);
+    outln!("baseline accuracy: {:.1}%, allowed drop {:.1}%", baseline * 100.0, drop * 100.0);
+    let t0 = Instant::now();
     let result = search(family, accuracy_eval(model.as_ref(), &data, 64, 32, jobs), baseline, drop);
+    let wall = t0.elapsed().as_secs_f64();
     for n in &result.nodes {
-        println!(
+        outln!(
             "node {:>2}: {:<18} acc {:>5.1}%  {}",
             n.index,
             n.spec.to_string(),
@@ -233,9 +329,27 @@ fn cmd_dse(args: &[String]) -> Result<(), String> {
             if n.accepted { "ok" } else { "reject" }
         );
     }
-    match result.best {
-        Some(best) => println!("suggested design point: {best}"),
-        None => println!("no acceptable configuration at this threshold"),
+    match &result.best {
+        Some(best) => outln!("suggested design point: {best}"),
+        None => outln!("no acceptable configuration at this threshold"),
     }
+    let mut m = result.to_manifest("goldeneye dse", wall);
+    m.config.push(("model".to_string(), trace::Json::from(model_kind.as_str())));
+    m.config.push(("family".to_string(), trace::Json::from(format!("{family:?}"))));
+    global.finish(m)
+}
+
+fn cmd_validate_trace(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("validate-trace needs a JSONL file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let summary = trace::validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    outln!(
+        "{path}: ok — {} line(s): {} trial(s), {} span(s), {} manifest(s), {} log(s)",
+        summary.lines,
+        summary.trials,
+        summary.spans,
+        summary.manifests,
+        summary.logs
+    );
     Ok(())
 }

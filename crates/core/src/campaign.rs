@@ -1,13 +1,27 @@
 //! Use case C (§IV-C): resiliency analysis — layer-granularity error
 //! injection campaigns measuring ΔLoss (and mismatch) per layer, for value
 //! and metadata faults.
+//!
+//! Observability: every trial produces a replayable [`trace::TrialRecord`]
+//! (site, bit, ΔLoss, mismatch) tagged with the worker id that ran it;
+//! workers emit the records as `trial` events on the active trace sinks,
+//! and the canonical `(layer, trial)`-ordered records are byte-identical
+//! between serial and parallel runs (see `TrialRecord::canonical_line`).
 
-use crate::instrument::{GoldenEye, InjectionPlan};
+use crate::instrument::{GoldenEye, InjectionPlan, InjectionRecord};
 use inject::SiteKind;
-use metrics::{compare_outcomes, RunningStats};
+use metrics::{compare_outcomes, ConvergenceTrace, RunningStats};
 use nn::Module;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use tensor::Tensor;
+use trace::{Json, RunManifest, TrialRecord};
+
+/// Process-global counter of executed campaign trials.
+fn trials_counter() -> &'static trace::Metric {
+    static C: OnceLock<&'static trace::Metric> = OnceLock::new();
+    C.get_or_init(|| trace::counter("campaign.trials"))
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -62,12 +76,16 @@ fn effective_jobs(jobs: usize) -> usize {
 }
 
 /// Runs `trials` independent trial closures and returns their results in
-/// trial-index order.
+/// trial-index order. `f` receives `(worker, index)` — the worker id is
+/// 0 in serial runs and the executor-thread index otherwise, so trial
+/// records can be tagged with who ran them (auditing parallel runs
+/// against the serial bit-identity guarantee).
 ///
 /// With `jobs <= 1` this is a plain serial loop. Otherwise `jobs` scoped
 /// worker threads pull trial indices from a shared atomic counter, and
 /// the results are re-sorted into index order afterwards — so any
-/// deterministic per-index `f` yields output independent of `jobs`.
+/// deterministic per-index `f` yields output independent of `jobs`
+/// (the worker id must not feed back into the computation).
 ///
 /// # Panics
 ///
@@ -76,24 +94,26 @@ fn effective_jobs(jobs: usize) -> usize {
 pub(crate) fn run_trials<T, F>(jobs: usize, trials: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, usize) -> T + Sync,
 {
     let jobs = effective_jobs(jobs).min(trials.max(1));
     if jobs <= 1 {
-        return (0..trials).map(f).collect();
+        return (0..trials).map(|i| f(0, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, T)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|worker| {
+                let f = &f;
+                let next = &next;
+                s.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= trials {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, f(worker, i)));
                     }
                     local
                 })
@@ -140,6 +160,9 @@ pub struct CampaignResult {
     pub kind: SiteKind,
     /// Per-layer results, in execution order.
     pub layers: Vec<LayerResult>,
+    /// Every trial's replayable record, in canonical `(layer, trial)`
+    /// order; each is tagged with the executor worker that ran it.
+    pub trials: Vec<TrialRecord>,
 }
 
 impl CampaignResult {
@@ -151,6 +174,107 @@ impl CampaignResult {
         }
         self.layers.iter().map(|l| l.delta_loss.mean()).sum::<f32>() / self.layers.len() as f32
     }
+
+    /// The canonical per-trial JSONL block: one line per trial in
+    /// `(layer, trial)` order, worker ids and timestamps excluded — the
+    /// serialization under which parallel and serial runs are
+    /// byte-identical.
+    pub fn canonical_trial_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.trials {
+            out.push_str(&t.canonical_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds the run manifest for this campaign: config, per-layer
+    /// statistics, the ΔLoss running-mean convergence trace over the
+    /// canonical trial order, and a snapshot of the trace counters.
+    pub fn to_manifest(&self, tool: &str, cfg: &CampaignConfig, wall_time_s: f64) -> RunManifest {
+        let mut conv = ConvergenceTrace::new();
+        for t in &self.trials {
+            if let Some(d) = t.delta_loss {
+                conv.push(d);
+            }
+        }
+        let mut m = RunManifest::new(tool)
+            .with_config("format", self.format.as_str())
+            .with_config("site", cfg.kind.as_str())
+            .with_config("injections_per_layer", cfg.injections_per_layer)
+            .with_config("seed", cfg.seed)
+            .with_config("jobs", cfg.jobs)
+            .with_extra("avg_delta_loss", self.avg_delta_loss())
+            .with_extra("trials", self.trials.len());
+        m.wall_time_s = wall_time_s;
+        if wall_time_s > 0.0 {
+            m = m.with_extra("trials_per_sec", self.trials.len() as f64 / wall_time_s);
+        }
+        m.layers = self
+            .layers
+            .iter()
+            .map(|l| trace::LayerRecord {
+                layer: l.layer,
+                name: l.name.clone(),
+                injections: l.injections,
+                delta_loss: l.delta_loss.summary(),
+                mismatch: l.mismatch.summary(),
+            })
+            .collect();
+        m.convergence = conv.running_means().to_vec();
+        m.snapshot_counters();
+        m
+    }
+}
+
+/// Builds one trial's replayable record and emits it as a `trial` event
+/// on the active trace sinks (tagged with the worker id).
+#[allow(clippy::too_many_arguments)]
+fn trial_record(
+    layer: usize,
+    layer_name: &str,
+    trial: usize,
+    kind: SiteKind,
+    site: Option<(usize, usize)>,
+    outcome: Option<&metrics::InjectionOutcome>,
+    worker: usize,
+) -> TrialRecord {
+    let record = TrialRecord {
+        layer,
+        layer_name: layer_name.to_string(),
+        trial,
+        site: kind.as_str().to_string(),
+        element: site.map(|(e, _)| e),
+        bit: site.map(|(_, b)| b),
+        delta_loss: outcome.map(|o| o.delta_loss),
+        mismatch: outcome.map(|o| o.mismatch_rate),
+        worker,
+    };
+    trials_counter().add(1);
+    if trace::recording() {
+        let mut fields: Vec<(&'static str, Json)> = Vec::with_capacity(9);
+        if let Json::Obj(obj) = record.to_json() {
+            // Re-borrow the payload with static keys for the event API.
+            for (k, v) in obj {
+                let key: &'static str = match k.as_str() {
+                    "type" => continue,
+                    "layer" => "layer",
+                    "name" => "name",
+                    "trial" => "trial",
+                    "site" => "site",
+                    "element" => "element",
+                    "bit" => "bit",
+                    "delta_loss" => "delta_loss",
+                    "mismatch" => "mismatch",
+                    "worker" => "worker",
+                    _ => continue,
+                };
+                fields.push((key, v));
+            }
+        }
+        trace::emit(trace::Level::Info, "trial", fields);
+    }
+    record
 }
 
 /// Runs a layer-by-layer injection campaign.
@@ -183,27 +307,41 @@ pub fn run_campaign(
             ge.format().name()
         );
     }
+    let _campaign_span = trace::span!(
+        "campaign",
+        format = ge.format().name(),
+        site = cfg.kind.as_str(),
+        jobs = cfg.jobs
+    );
     let layers = ge.discover_layers(model, x.clone());
     let golden = ge.run(model, x.clone());
     let n = cfg.injections_per_layer;
     // One flat trial space: trial t of layer l is global index l·n + t.
-    let outcomes = run_trials(cfg.jobs, layers.len() * n, |idx| {
+    let trials = run_trials(cfg.jobs, layers.len() * n, |worker, idx| {
         let layer = &layers[idx / n];
         let trial = idx % n;
+        let _trial_span = trace::span!("trial", layer = layer.index, trial = trial);
         let seed = trial_seed(cfg.seed, layer.index as u64, trial as u64);
         let plan = InjectionPlan::single(layer.index, cfg.kind);
         let (faulty, rec) = ge.run_with_injection(model, x.clone(), plan, seed);
-        rec.map(|_| compare_outcomes(&golden, &faulty, targets))
+        let outcome = rec.as_ref().map(|_| compare_outcomes(&golden, &faulty, targets));
+        let site = rec.as_ref().map(|r| match r {
+            InjectionRecord::Value { flip, .. } => (flip.element, flip.bit),
+            InjectionRecord::Metadata { flip, .. } => (flip.word, flip.bit),
+        });
+        trial_record(layer.index, &layer.name, trial, cfg.kind, site, outcome.as_ref(), worker)
     });
     let mut results = Vec::with_capacity(layers.len());
     for (li, layer) in layers.iter().enumerate() {
         let mut delta_loss = RunningStats::new();
         let mut mismatch = RunningStats::new();
         let mut fired = 0usize;
-        for outcome in outcomes[li * n..(li + 1) * n].iter().flatten() {
-            fired += 1;
-            delta_loss.push(outcome.delta_loss);
-            mismatch.push(outcome.mismatch_rate);
+        for record in &trials[li * n..(li + 1) * n] {
+            if let (Some(d), Some(m)) = (record.delta_loss, record.mismatch) {
+                fired += 1;
+                delta_loss.push(d);
+                mismatch.push(m);
+            }
         }
         results.push(LayerResult {
             layer: layer.index,
@@ -213,7 +351,7 @@ pub fn run_campaign(
             injections: fired,
         });
     }
-    CampaignResult { format: ge.format().name(), kind: cfg.kind, layers: results }
+    CampaignResult { format: ge.format().name(), kind: cfg.kind, layers: results, trials }
 }
 
 /// Runs a **weight**-fault campaign (§V-B: injections in weights as well
@@ -254,9 +392,12 @@ pub fn run_weight_campaign(
     });
     let width = ge.format().bit_width() as usize;
     let n = cfg.injections_per_layer;
-    let outcomes = run_trials(cfg.jobs, weights.len() * n, |idx| {
+    let _campaign_span =
+        trace::span!("campaign", format = ge.format().name(), site = "weight", jobs = cfg.jobs);
+    let trials = run_trials(cfg.jobs, weights.len() * n, |worker, idx| {
         let (param, clean) = &weights[idx / n];
         let trial = idx % n;
+        let _trial_span = trace::span!("trial", layer = idx / n, trial = trial);
         let seed = trial_seed(cfg.seed, (idx / n) as u64, trial as u64);
         let mut injector = inject::Injector::new(seed);
         let fault = injector.sample_value_fault(clean.numel(), width);
@@ -265,15 +406,26 @@ pub fn run_weight_campaign(
         let faulty_weight = ge.format().format_to_real_tensor(&q);
         let _guard = param.override_local(faulty_weight);
         let faulty = ge.run(model, x.clone());
-        compare_outcomes(&golden, &faulty, targets)
+        let outcome = compare_outcomes(&golden, &faulty, targets);
+        trial_record(
+            idx / n,
+            param.name(),
+            trial,
+            SiteKind::Value,
+            Some((fault.index, fault.bit)),
+            Some(&outcome),
+            worker,
+        )
     });
     let mut results = Vec::with_capacity(weights.len());
     for (li, (param, _)) in weights.iter().enumerate() {
         let mut delta_loss = RunningStats::new();
         let mut mismatch = RunningStats::new();
-        for outcome in &outcomes[li * n..(li + 1) * n] {
-            delta_loss.push(outcome.delta_loss);
-            mismatch.push(outcome.mismatch_rate);
+        for record in &trials[li * n..(li + 1) * n] {
+            if let (Some(d), Some(m)) = (record.delta_loss, record.mismatch) {
+                delta_loss.push(d);
+                mismatch.push(m);
+            }
         }
         results.push(LayerResult {
             layer: li,
@@ -284,7 +436,7 @@ pub fn run_weight_campaign(
         });
     }
     snapshot.restore(model);
-    CampaignResult { format: ge.format().name(), kind: SiteKind::Value, layers: results }
+    CampaignResult { format: ge.format().name(), kind: SiteKind::Value, layers: results, trials }
 }
 
 #[cfg(test)]

@@ -163,6 +163,35 @@ impl DseResult {
     pub fn accepted_nodes(&self) -> impl Iterator<Item = &DseNode> {
         self.nodes.iter().filter(|n| n.accepted)
     }
+
+    /// Builds the run manifest for this search: threshold config, the
+    /// per-node visit trail (spec, accuracy, accepted), the node-accuracy
+    /// sequence as the convergence trace, and the chosen format.
+    pub fn to_manifest(&self, tool: &str, wall_time_s: f64) -> trace::RunManifest {
+        use trace::Json;
+        let trail: Vec<Json> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                Json::Obj(vec![
+                    ("index".into(), Json::from(n.index)),
+                    ("spec".into(), Json::from(n.spec.to_string())),
+                    ("accuracy".into(), Json::from_f32(n.accuracy)),
+                    ("accepted".into(), Json::from(n.accepted)),
+                ])
+            })
+            .collect();
+        let mut m = trace::RunManifest::new(tool)
+            .with_config("baseline_accuracy", self.baseline_accuracy)
+            .with_config("threshold", self.threshold)
+            .with_extra("nodes_visited", self.nodes.len())
+            .with_extra("nodes", Json::Arr(trail))
+            .with_extra("best", self.best.as_ref().map(|s| s.to_string()));
+        m.wall_time_s = wall_time_s;
+        m.convergence = self.nodes.iter().map(|n| n.accuracy).collect();
+        m.snapshot_counters();
+        m
+    }
 }
 
 fn total_bits(spec: &FormatSpec) -> u32 {
@@ -191,6 +220,7 @@ pub fn search(
     max_drop: f32,
 ) -> DseResult {
     const MAX_NODES: usize = 16;
+    let _span = trace::span!("dse", family = format!("{family:?}"));
     let threshold = baseline_accuracy - max_drop;
     let mut nodes: Vec<DseNode> = Vec::new();
     let visit = |spec: FormatSpec,
@@ -202,6 +232,18 @@ pub fn search(
         }
         let accuracy = eval(&spec);
         let accepted = accuracy >= threshold;
+        if trace::recording() {
+            trace::emit(
+                trace::Level::Debug,
+                "dse_node",
+                vec![
+                    ("index", trace::Json::from(nodes.len())),
+                    ("spec", trace::Json::from(spec.to_string())),
+                    ("accuracy", trace::Json::from_f32(accuracy)),
+                    ("accepted", trace::Json::from(accepted)),
+                ],
+            );
+        }
         nodes.push(DseNode { index: nodes.len(), spec, accuracy, accepted });
         accepted
     };

@@ -39,7 +39,8 @@ pub fn evaluate_accuracy_jobs(
     ge.quantize_weights(model);
     let k = k.min(data.len());
     let batches = k.div_ceil(batch_size);
-    let per_batch = crate::campaign::run_trials(jobs, batches, |b| {
+    let _span = trace::span!("evaluate", format = ge.format().name(), jobs = jobs);
+    let per_batch = crate::campaign::run_trials(jobs, batches, |_worker, b| {
         let start = b * batch_size;
         let end = (start + batch_size).min(k);
         let idx: Vec<usize> = (start..end).collect();

@@ -11,13 +11,55 @@ use inject::{
     flip_metadata, flip_value, Injector, MetadataFlip, RangeProfile, SiteKind, ValueFlip,
 };
 use nn::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 use tensor::Tensor;
+
+/// Hot-path metrics for the emulation hook, resolved once. Every timing
+/// below is gated on [`trace::recording`] — with tracing off the hook
+/// pays a single relaxed atomic load and no clock reads.
+struct HookMetrics {
+    /// Per-call FP32 → format conversion time.
+    quantize_ns: &'static trace::Metric,
+    /// Per-call format → FP32 conversion time.
+    dequantize_ns: &'static trace::Metric,
+    /// Elements converted (ratio `sum(ns) / sum(elements)` is the
+    /// format-conversion cost in ns/element).
+    convert_elems: &'static trace::Metric,
+    /// Time a hook spent blocked on contended internal locks.
+    lock_wait_ns: &'static trace::Metric,
+}
+
+fn hook_metrics() -> &'static HookMetrics {
+    static M: OnceLock<HookMetrics> = OnceLock::new();
+    M.get_or_init(|| HookMetrics {
+        quantize_ns: trace::histogram("hook.quantize_ns"),
+        dequantize_ns: trace::histogram("hook.dequantize_ns"),
+        convert_elems: trace::counter("hook.convert_elems"),
+        lock_wait_ns: trace::histogram("hook.lock_wait_ns"),
+    })
+}
 
 /// Locks a mutex, ignoring poisoning: hook state is only ever replaced
 /// wholesale, so a panicked trial cannot leave it torn.
+///
+/// When tracing is on, time spent blocked on a contended lock is recorded
+/// in the `hook.lock_wait_ns` histogram (the uncontended `try_lock`
+/// fast path costs nothing extra).
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    match m.try_lock() {
+        Ok(g) => return g,
+        Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {}
+    }
+    if trace::recording() {
+        let t0 = Instant::now();
+        let g = m.lock().unwrap_or_else(|p| p.into_inner());
+        hook_metrics().lock_wait_ns.record(t0.elapsed().as_nanos() as u64);
+        g
+    } else {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// Which layer kinds get instrumented.
@@ -123,7 +165,13 @@ impl FormatTable {
 impl ForwardHook for EmulationHook {
     fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
         let format = self.formats.resolve(layer.index);
+        let timing = trace::recording().then(Instant::now);
         let mut q = format.real_to_format_tensor(output);
+        if let Some(t0) = timing {
+            let m = hook_metrics();
+            m.quantize_ns.record(t0.elapsed().as_nanos() as u64);
+            m.convert_elems.add(output.numel() as u64);
+        }
         if let Some(plan) = &self.plan {
             if plan.layer == layer.index {
                 let mut inj = lock(&self.injector);
@@ -156,7 +204,11 @@ impl ForwardHook for EmulationHook {
                 *lock(&self.record) = Some(record);
             }
         }
+        let timing = trace::recording().then(Instant::now);
         let values = format.format_to_real_tensor(&q);
+        if let Some(t0) = timing {
+            hook_metrics().dequantize_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         let values = match self.range_mode {
             RangeMode::Off => values,
             RangeMode::Profile => {
@@ -369,7 +421,11 @@ impl GoldenEye {
 
     /// Profiles per-layer activation ranges on clean emulated runs, for
     /// the range detector.
+    ///
+    /// When tracing is on, emits a `range_profile` event carrying the
+    /// resulting `(layer, min, max)` snapshot.
     pub fn profile_ranges(&self, model: &dyn Module, batches: &[Tensor]) {
+        let _span = trace::span!("profile_ranges", batches = batches.len());
         for x in batches {
             let hook = Arc::new(EmulationHook {
                 formats: self.format_table(),
@@ -384,6 +440,29 @@ impl GoldenEye {
             ctx.add_hook(hook);
             let xv = ctx.input(x.clone());
             model.forward(&xv, &mut ctx);
+        }
+        if trace::recording() {
+            let ranges: Vec<trace::Json> = self
+                .range
+                .snapshot()
+                .into_iter()
+                .map(|(layer, lo, hi)| {
+                    trace::Json::Arr(vec![
+                        trace::Json::from(layer),
+                        trace::Json::from_f32(lo),
+                        trace::Json::from_f32(hi),
+                    ])
+                })
+                .collect();
+            trace::emit(
+                trace::Level::Debug,
+                "range_profile",
+                vec![
+                    ("format", trace::Json::from(self.format.name())),
+                    ("layers", trace::Json::from(ranges.len())),
+                    ("ranges", trace::Json::Arr(ranges)),
+                ],
+            );
         }
     }
 

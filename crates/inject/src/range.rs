@@ -55,6 +55,17 @@ impl RangeProfile {
         self.read().iter().all(Option::is_none)
     }
 
+    /// A point-in-time copy of every profiled layer range, as
+    /// `(layer, min, max)` triples — the payload of the observability
+    /// layer's range-profile snapshot events.
+    pub fn snapshot(&self) -> Vec<(usize, f32, f32)> {
+        self.read()
+            .iter()
+            .enumerate()
+            .filter_map(|(layer, r)| r.map(|(lo, hi)| (layer, lo, hi)))
+            .collect()
+    }
+
     /// Clamps `t` into `layer`'s profiled range (identity if unprofiled).
     /// Non-finite values are pulled to the nearest bound, so a NaN/Inf
     /// produced by an exponent flip is suppressed — the detector's purpose.

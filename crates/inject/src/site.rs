@@ -13,6 +13,16 @@ pub enum SiteKind {
     Metadata,
 }
 
+impl SiteKind {
+    /// The stable lowercase label used in trace records and manifests.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SiteKind::Value => "value",
+            SiteKind::Metadata => "metadata",
+        }
+    }
+}
+
 /// The format family a site belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FormatFamily {

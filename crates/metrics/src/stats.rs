@@ -20,6 +20,7 @@ pub struct RunningStats {
     m2: f64,
     min: Option<f32>,
     max: Option<f32>,
+    nan: u64,
 }
 
 impl RunningStats {
@@ -29,7 +30,16 @@ impl RunningStats {
     }
 
     /// Adds one observation.
+    ///
+    /// NaN observations are guarded: they are counted separately (see
+    /// [`RunningStats::nan_count`]) and excluded from every aggregate, so
+    /// one corrupted ΔLoss cannot poison a whole campaign's statistics
+    /// (and the run manifest stays valid JSON, which has no NaN).
     pub fn push(&mut self, x: f32) {
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         self.n += 1;
         let xf = x as f64;
         let d = xf - self.mean;
@@ -86,6 +96,23 @@ impl RunningStats {
     /// (normal approximation, 1.96·SEM).
     pub fn ci95_half_width(&self) -> f32 {
         1.96 * self.std_error()
+    }
+
+    /// Number of NaN observations rejected by [`RunningStats::push`].
+    pub fn nan_count(&self) -> u64 {
+        self.nan
+    }
+
+    /// The plain-data summary embedded in run manifests
+    /// ([`trace::RunManifest`]).
+    pub fn summary(&self) -> trace::StatsSummary {
+        trace::StatsSummary {
+            count: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min,
+            max: self.max,
+        }
     }
 }
 
@@ -226,5 +253,84 @@ mod tests {
             t.push(2.5);
         }
         assert_eq!(t.samples_to_converge(0.01), 1);
+    }
+
+    #[test]
+    fn summary_of_empty_and_single_sample() {
+        // 0 samples: everything zero/None — a valid, serializable summary.
+        let empty = RunningStats::new().summary();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.std_dev, 0.0);
+        assert_eq!(empty.min, None);
+        assert_eq!(empty.max, None);
+        // 1 sample: mean = the sample, variance undefined → 0.
+        let mut one = RunningStats::new();
+        one.push(3.5);
+        let s = one.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, Some(3.5));
+        assert_eq!(s.max, Some(3.5));
+    }
+
+    #[test]
+    fn nan_observations_are_guarded() {
+        let mut s = RunningStats::new();
+        s.push(1.0);
+        s.push(f32::NAN);
+        s.push(3.0);
+        assert_eq!(s.count(), 2, "NaN must not count as an observation");
+        assert_eq!(s.nan_count(), 1);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+        assert!(s.summary().mean.is_finite());
+        // A NaN-only accumulator stays empty (and serializes cleanly).
+        let mut only_nan = RunningStats::new();
+        only_nan.push(f32::NAN);
+        assert_eq!(only_nan.count(), 0);
+        assert_eq!(only_nan.summary(), RunningStats::new().summary());
+        // ±Inf is not NaN: still admitted (the campaign's ΔLoss is already
+        // clamped finite upstream; the guard targets NaN poisoning only).
+        let mut inf = RunningStats::new();
+        inf.push(f32::INFINITY);
+        assert_eq!(inf.count(), 1);
+    }
+
+    #[test]
+    fn manifest_embedding_round_trips() {
+        // The serde contract of the new observability layer: a manifest
+        // embedding RunningStats summaries and a ConvergenceTrace survives
+        // JSON serialization byte-exactly at f32 precision.
+        let mut delta = RunningStats::new();
+        let mut mismatch = RunningStats::new();
+        let mut conv = ConvergenceTrace::new();
+        for x in [0.1f32, 0.7, 0.3, 12.5, 0.0] {
+            delta.push(x);
+            mismatch.push(if x > 0.5 { 1.0 } else { 0.0 });
+            conv.push(x);
+        }
+        let mut m = trace::RunManifest::new("metrics round-trip")
+            .with_config("seed", 7u64)
+            .with_config("format", "bfp_e5m5_b16");
+        m.wall_time_s = 0.25;
+        m.layers = vec![trace::LayerRecord {
+            layer: 0,
+            name: "stem.conv".into(),
+            injections: delta.count() as usize,
+            delta_loss: delta.summary(),
+            mismatch: mismatch.summary(),
+        }];
+        m.convergence = conv.running_means().to_vec();
+        let parsed = trace::RunManifest::from_json_str(&m.to_json().to_pretty()).unwrap();
+        assert_eq!(parsed.layers, m.layers);
+        assert_eq!(parsed.convergence, m.convergence);
+        let round = &parsed.layers[0].delta_loss;
+        assert_eq!(round.mean.to_bits(), delta.mean().to_bits());
+        assert_eq!(round.std_dev.to_bits(), delta.std_dev().to_bits());
+        assert_eq!(round.min, delta.min());
+        assert_eq!(round.max, delta.max());
     }
 }

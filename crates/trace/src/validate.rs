@@ -1,0 +1,180 @@
+//! Schema validation for run manifests and JSONL trace files — used by
+//! the test suite and the CI smoke job (`goldeneye validate-trace`), so a
+//! regenerated `results/` artifact is guaranteed machine-readable.
+
+use crate::json::Json;
+use crate::manifest::TrialRecord;
+
+/// What a validated JSONL trace contained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total non-empty lines.
+    pub lines: usize,
+    /// `type == "trial"` records.
+    pub trials: usize,
+    /// `type == "span"` records.
+    pub spans: usize,
+    /// `type == "manifest"` records.
+    pub manifests: usize,
+    /// `type == "log"` records.
+    pub logs: usize,
+}
+
+/// Validates one run-manifest JSON object against the schema: required
+/// `tool`/`version`/`wall_time_s`/`config`, well-formed `layers` and
+/// `convergence` when present.
+pub fn validate_manifest(v: &Json) -> Result<(), String> {
+    if !v.is_obj() {
+        return Err("manifest must be a JSON object".into());
+    }
+    for key in ["tool", "version"] {
+        if v.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("manifest: missing string field `{key}`"));
+        }
+    }
+    if v.get("wall_time_s").and_then(Json::as_f64).is_none() {
+        return Err("manifest: missing numeric field `wall_time_s`".into());
+    }
+    match v.get("config") {
+        Some(c) if c.is_obj() => {}
+        _ => return Err("manifest: missing object field `config`".into()),
+    }
+    if let Some(layers) = v.get("layers") {
+        let arr = layers.as_arr().ok_or("manifest: `layers` must be an array")?;
+        for (i, layer) in arr.iter().enumerate() {
+            crate::manifest::LayerRecord::from_json(layer)
+                .map_err(|e| format!("manifest: layers[{i}]: {e}"))?;
+        }
+    }
+    if let Some(conv) = v.get("convergence") {
+        let arr = conv.as_arr().ok_or("manifest: `convergence` must be an array")?;
+        if arr.iter().any(|x| x.as_f64().is_none()) {
+            return Err("manifest: `convergence` must contain only numbers".into());
+        }
+    }
+    Ok(())
+}
+
+/// Validates one event object from a JSONL trace: every line must be an
+/// object with `type`; `trial` and `manifest` lines must satisfy their
+/// schemas; other kinds only need a timestamp when they claim one.
+pub fn validate_event(v: &Json) -> Result<&str, String> {
+    if !v.is_obj() {
+        return Err("event must be a JSON object".into());
+    }
+    let kind = v.get("type").and_then(Json::as_str).ok_or("event: missing string field `type`")?;
+    if let Some(ts) = v.get("ts_ns") {
+        ts.as_u64().ok_or("event: `ts_ns` must be a non-negative integer")?;
+    }
+    match kind {
+        "trial" => {
+            TrialRecord::from_json(v)?;
+        }
+        "manifest" => {
+            // Either inline (`{"type":"manifest","tool":…}`) or wrapped as
+            // an event payload (`{"type":"manifest","manifest":{…}}`).
+            let inner = v.get("manifest").unwrap_or(v);
+            validate_manifest(inner)?;
+        }
+        "span" => {
+            if v.get("name").and_then(Json::as_str).is_none() {
+                return Err("span event: missing string field `name`".into());
+            }
+            if v.get("dur_ns").and_then(Json::as_u64).is_none() {
+                return Err("span event: missing integer field `dur_ns`".into());
+            }
+        }
+        "log" if v.get("msg").and_then(Json::as_str).is_none() => {
+            return Err("log event: missing string field `msg`".into());
+        }
+        _ => {}
+    }
+    Ok(kind)
+}
+
+/// Validates a whole JSONL trace (one JSON object per non-empty line) and
+/// returns per-kind counts. Line numbers in errors are 1-based.
+pub fn validate_trace(jsonl: &str) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    for (i, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = crate::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = validate_event(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        summary.lines += 1;
+        match kind {
+            "trial" => summary.trials += 1,
+            "span" => summary.spans += 1,
+            "manifest" => summary.manifests += 1,
+            "log" => summary.logs += 1,
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::RunManifest;
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut m = RunManifest::new("test").with_config("seed", 1u64);
+        m.wall_time_s = 0.5;
+        let trial = TrialRecord {
+            layer: 0,
+            layer_name: "stem".into(),
+            trial: 0,
+            site: "value".into(),
+            element: Some(1),
+            bit: Some(2),
+            delta_loss: Some(0.1),
+            mismatch: Some(0.0),
+            worker: 0,
+        };
+        let jsonl = format!(
+            "{}\n{}\n{}\n\n{}\n",
+            trial.to_json().to_compact(),
+            r#"{"ts_ns":12,"level":"debug","type":"span","name":"campaign","dur_ns":99}"#,
+            r#"{"ts_ns":13,"level":"info","type":"log","msg":"hi"}"#,
+            m.to_json().to_compact(),
+        );
+        let s = validate_trace(&jsonl).unwrap();
+        assert_eq!(s, TraceSummary { lines: 4, trials: 1, spans: 1, manifests: 1, logs: 1 });
+    }
+
+    #[test]
+    fn wrapped_manifest_event_passes() {
+        let mut m = RunManifest::new("test");
+        m.wall_time_s = 0.1;
+        let line =
+            crate::Json::obj([("type", crate::Json::from("manifest")), ("manifest", m.to_json())])
+                .to_compact();
+        assert_eq!(validate_trace(&line).unwrap().manifests, 1);
+    }
+
+    #[test]
+    fn bad_lines_are_pinpointed() {
+        let err = validate_trace("{\"type\":\"log\",\"msg\":\"ok\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = validate_trace("{\"no_type\":1}\n").unwrap_err();
+        assert!(err.contains("missing string field `type`"), "{err}");
+        let err = validate_trace("{\"type\":\"trial\",\"layer\":0}\n").unwrap_err();
+        assert!(err.contains("trial"), "{err}");
+        let err = validate_trace("{\"type\":\"span\",\"name\":\"x\"}\n").unwrap_err();
+        assert!(err.contains("dur_ns"), "{err}");
+    }
+
+    #[test]
+    fn manifest_schema_requirements() {
+        assert!(validate_manifest(&crate::parse(r#"{"tool":"t"}"#).unwrap()).is_err());
+        let ok = r#"{"tool":"t","version":"v","wall_time_s":0.1,"config":{}}"#;
+        assert!(validate_manifest(&crate::parse(ok).unwrap()).is_ok());
+        let bad_layers =
+            r#"{"tool":"t","version":"v","wall_time_s":0.1,"config":{},"layers":[{}]}"#;
+        assert!(validate_manifest(&crate::parse(bad_layers).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end observability contract: campaigns emit validatable trial
+//! events, spans, and manifests; the JSONL stream they produce passes
+//! `trace::validate_trace`; and manifests round-trip through JSON.
+//!
+//! These tests mutate the process-global tracer (level, capture buffer,
+//! metrics), so they serialise on a local mutex.
+
+use goldeneye::{run_campaign, CampaignConfig, GoldenEye};
+use inject::SiteKind;
+use models::{train, ResNet, ResNetConfig, SyntheticDataset, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
+use trace::Level;
+
+fn serialize_tests() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn setup() -> (ResNet, tensor::Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let model = ResNet::new(ResNetConfig::tiny(8), &mut rng);
+    let data = SyntheticDataset::generate(48, 16, 4, 19);
+    train(
+        &model,
+        &data,
+        &TrainConfig { epochs: 3, batch_size: 16, lr: 3e-3, ..Default::default() },
+    );
+    let (x, y) = data.head_batch(8);
+    (model, x, y)
+}
+
+#[test]
+fn campaign_emits_validatable_trial_events_and_spans() {
+    let _gate = serialize_tests();
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    let cfg = CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 7, jobs: 1 };
+
+    trace::set_level(Level::Debug); // spans emit at Debug
+    trace::capture_events(true);
+    trace::reset_metrics();
+    let _ = trace::take_events();
+    let result = run_campaign(&ge, &model, &x, &y, &cfg);
+    trace::capture_events(false);
+    trace::set_level(Level::Info);
+    let events = trace::take_events();
+
+    let mut trials = 0usize;
+    let mut campaign_spans = 0usize;
+    for e in &events {
+        let v = e.to_json();
+        let kind = trace::validate_event(&v).expect("every emitted event validates");
+        match kind {
+            "trial" => trials += 1,
+            "span" if v.get("name").and_then(|n| n.as_str()) == Some("campaign") => {
+                campaign_spans += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(trials, result.trials.len(), "one trial event per trial record");
+    assert_eq!(campaign_spans, 1, "campaign wrapped in exactly one span");
+
+    // The trials/sec counter advanced by exactly the number of trials.
+    let counters = trace::metrics_snapshot();
+    let (_, trial_counter) = counters
+        .iter()
+        .find(|(name, _)| name == "campaign.trials")
+        .expect("campaign.trials counter registered");
+    assert_eq!(trial_counter.get("count").and_then(|c| c.as_u64()), Some(trials as u64));
+}
+
+#[test]
+fn campaign_jsonl_stream_passes_validate_trace() {
+    let _gate = serialize_tests();
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("int:8").unwrap();
+    let cfg = CampaignConfig { injections_per_layer: 2, kind: SiteKind::Value, seed: 9, jobs: 2 };
+
+    trace::capture_events(true);
+    let _ = trace::take_events();
+    let t = std::time::Instant::now();
+    let result = run_campaign(&ge, &model, &x, &y, &cfg);
+    trace::capture_events(false);
+    let events = trace::take_events();
+
+    // Reconstruct the JSONL stream exactly as the file sink writes it:
+    // one compact event object per line, manifest last.
+    let mut jsonl = String::new();
+    for e in &events {
+        jsonl.push_str(&e.to_json().to_compact());
+        jsonl.push('\n');
+    }
+    let manifest = result.to_manifest("test campaign", &cfg, t.elapsed().as_secs_f64());
+    jsonl.push_str(&manifest.to_json().to_compact());
+    jsonl.push('\n');
+
+    let summary = trace::validate_trace(&jsonl).expect("stream validates");
+    assert_eq!(summary.trials, result.trials.len());
+    assert_eq!(summary.manifests, 1);
+    assert_eq!(summary.lines, events.len() + 1);
+}
+
+#[test]
+fn campaign_manifest_round_trips_through_json() {
+    let _gate = serialize_tests();
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("bfp:e8m7:tensor").unwrap();
+    let cfg =
+        CampaignConfig { injections_per_layer: 2, kind: SiteKind::Metadata, seed: 11, jobs: 1 };
+    let result = run_campaign(&ge, &model, &x, &y, &cfg);
+    let mut manifest = result.to_manifest("test campaign", &cfg, 0.25);
+    manifest.snapshot_counters();
+
+    trace::validate_manifest(&manifest.to_json()).expect("manifest validates");
+    let text = manifest.to_json().to_pretty();
+    let back = trace::RunManifest::from_json_str(&text).expect("manifest parses back");
+    assert_eq!(manifest.to_json().to_compact(), back.to_json().to_compact());
+    assert_eq!(back.layers.len(), result.layers.len());
+    assert!(!back.convergence.is_empty(), "convergence trace embedded");
+}

@@ -54,6 +54,46 @@ fn activation_campaign_is_deterministic_across_jobs() {
     assert_bit_identical(&serial, &parallel);
 }
 
+/// Per-trial records, serialised in canonical (layer, trial) order with
+/// worker ids and timestamps stripped, must be **byte**-identical between
+/// a serial run and a `--jobs 4` run — the contract consumers of the
+/// per-trial JSONL stream rely on.
+#[test]
+fn per_trial_jsonl_is_byte_identical_across_jobs() {
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    let cfg = CampaignConfig { injections_per_layer: 5, kind: SiteKind::Value, seed: 29, jobs: 1 };
+    let serial = run_campaign(&ge, &model, &x, &y, &cfg);
+    let parallel = run_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
+    let a = serial.canonical_trial_jsonl();
+    let b = parallel.canonical_trial_jsonl();
+    assert_eq!(a.len(), b.len(), "serial and parallel JSONL lengths differ");
+    assert!(a == b, "canonical per-trial JSONL differs between jobs=1 and jobs=4");
+    assert!(!a.is_empty(), "campaign produced no trial records");
+    // Metadata-site campaigns exercise the word/bit site encoding.
+    let mcfg = CampaignConfig { kind: SiteKind::Metadata, ..cfg };
+    let bfp = GoldenEye::parse("bfp:e8m7:tensor").unwrap();
+    let ms = run_campaign(&bfp, &model, &x, &y, &mcfg);
+    let mp = run_campaign(&bfp, &model, &x, &y, &mcfg.clone().with_jobs(4));
+    assert!(
+        ms.canonical_trial_jsonl() == mp.canonical_trial_jsonl(),
+        "metadata-site canonical JSONL differs between jobs=1 and jobs=4"
+    );
+}
+
+#[test]
+fn weight_campaign_trial_jsonl_is_byte_identical_across_jobs() {
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("int:8").unwrap();
+    let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 31, jobs: 1 };
+    let serial = run_weight_campaign(&ge, &model, &x, &y, &cfg);
+    let parallel = run_weight_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
+    assert!(
+        serial.canonical_trial_jsonl() == parallel.canonical_trial_jsonl(),
+        "weight-campaign canonical JSONL differs between jobs=1 and jobs=4"
+    );
+}
+
 #[test]
 fn weight_campaign_is_deterministic_across_jobs() {
     let (model, x, y) = setup();
