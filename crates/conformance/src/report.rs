@@ -1,0 +1,97 @@
+//! JSONL conformance reports, built on the deterministic JSON writer in
+//! `crates/trace`. One header line, then one line per format checked — the
+//! artifact the CI conformance job uploads.
+
+use crate::laws::Violation;
+use crate::oracle::{family_name, FormatReport};
+use trace::Json;
+
+fn violation_json(v: &Violation) -> Json {
+    Json::obj([
+        ("law", Json::Str(v.law.name().into())),
+        ("context", Json::Str(v.context.clone())),
+        ("detail", Json::Str(v.detail.clone())),
+    ])
+}
+
+fn format_json(r: &FormatReport) -> Json {
+    Json::obj([
+        ("spec", Json::Str(r.spec.to_string())),
+        ("format", Json::Str(r.name.clone())),
+        ("family", Json::Str(family_name(&r.spec).into())),
+        ("bit_width", Json::Num(r.bit_width as f64)),
+        ("exhaustive", Json::Bool(r.exhaustive)),
+        ("codes_checked", Json::Num(r.codes_checked as f64)),
+        ("checks", Json::Num(r.checks as f64)),
+        ("violations", Json::Arr(r.violations.iter().map(violation_json).collect())),
+    ])
+}
+
+/// Serializes a batch of format reports as JSONL: a header line with the
+/// schema id and totals, then one line per format.
+pub fn to_jsonl(reports: &[FormatReport]) -> String {
+    let checks: u64 = reports.iter().map(|r| r.checks).sum();
+    let codes: u64 = reports.iter().map(|r| r.codes_checked).sum();
+    let violations: usize = reports.iter().map(|r| r.violations.len()).sum();
+    let header = Json::obj([
+        ("schema", Json::Str("goldeneye.conformance.report.v1".into())),
+        ("formats", Json::Num(reports.len() as f64)),
+        ("codes_checked", Json::Num(codes as f64)),
+        ("checks", Json::Num(checks as f64)),
+        ("violations", Json::Num(violations as f64)),
+    ]);
+    let mut out = header.to_compact();
+    out.push('\n');
+    for r in reports {
+        out.push_str(&format_json(r).to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line human summary per format, for terminal output.
+pub fn summarize(r: &FormatReport) -> String {
+    format!(
+        "{:<18} {:>2}-bit  {}  codes {:>6}  checks {:>8}  {}",
+        r.name,
+        r.bit_width,
+        if r.exhaustive { "exhaustive" } else { "grid      " },
+        r.codes_checked,
+        r.checks,
+        if r.violations.is_empty() {
+            "ok".to_string()
+        } else {
+            format!("{} VIOLATIONS", r.violations.len())
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::check_format;
+    use formats::FormatSpec;
+
+    #[test]
+    fn report_jsonl_parses_and_counts() {
+        let spec: FormatSpec = "int:8".parse().unwrap();
+        let reports = vec![check_format(&spec)];
+        let text = to_jsonl(&reports);
+        let mut lines = text.lines();
+        let header = trace::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("formats").and_then(Json::as_u64), Some(1));
+        assert_eq!(header.get("violations").and_then(Json::as_u64), Some(0));
+        let row = trace::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(row.get("spec").and_then(Json::as_str), Some("int:8"));
+        assert_eq!(row.get("family").and_then(Json::as_str), Some("int"));
+        assert!(row.get("checks").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn summary_flags_violation_count() {
+        let spec: FormatSpec = "fp:e4m3".parse().unwrap();
+        let r = check_format(&spec);
+        let s = summarize(&r);
+        assert!(s.contains("fp_e4m3") && s.contains("ok"), "{s}");
+    }
+}

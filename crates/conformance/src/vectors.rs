@@ -1,0 +1,205 @@
+//! Golden conformance vectors: checked-in JSONL files recording, for six
+//! reference formats, the exact decoded value of (a sample of) every code
+//! under a fixed, deterministic metadata context — plus an FNV-1a hash over
+//! the *entire* code space so even unsampled codes are pinned.
+//!
+//! Regressions diff byte-for-byte: the JSON writer in `crates/trace` is
+//! deterministic (insertion-ordered objects, shortest-round-trip floats).
+
+use crate::oracle::probe_tensors;
+use formats::{FormatSpec, Metadata};
+use trace::Json;
+
+/// The formats with checked-in golden vectors: FP8, FP16, bf16, INT8, BFP,
+/// AFP (the ISSUE's required set).
+pub const GOLDEN_SPECS: &[&str] =
+    &["fp:e4m3", "fp:e5m10", "fp:e8m7", "int:8", "bfp:e5m5:b16", "afp:e4m3"];
+
+/// Sampling stride for wide code spaces: every code for ≤8-bit formats,
+/// every 257th code (coprime with 2^16) for 16-bit ones. The FNV hash
+/// always covers all codes.
+fn stride_for(bit_width: u32) -> u64 {
+    if bit_width <= 8 {
+        1
+    } else {
+        257
+    }
+}
+
+/// File name of a spec's golden vector, derived from the format name.
+pub fn golden_file_name(spec: &FormatSpec) -> String {
+    format!("{}.jsonl", spec.build().name())
+}
+
+fn meta_json(meta: &Metadata) -> Json {
+    match meta {
+        Metadata::None => Json::Null,
+        Metadata::Scale(s) => Json::obj([
+            ("kind", Json::Str("scale".into())),
+            ("bits", Json::Str(format!("{:#010x}", s.to_bits()))),
+            ("value", Json::from_f32(*s)),
+        ]),
+        Metadata::SharedExponents { codes, block_size, exp_bits } => Json::obj([
+            ("kind", Json::Str("shared_exponents".into())),
+            ("exp_bits", Json::Num(*exp_bits as f64)),
+            (
+                "block_size",
+                if *block_size == usize::MAX {
+                    Json::Str("tensor".into())
+                } else {
+                    Json::Num(*block_size as f64)
+                },
+            ),
+            ("codes", Json::Arr(codes.iter().map(|&c| Json::Num(c as f64)).collect())),
+        ]),
+        Metadata::ExpBias { bias, bias_bits } => Json::obj([
+            ("kind", Json::Str("exp_bias".into())),
+            ("bias", Json::Num(*bias as f64)),
+            ("bias_bits", Json::Num(*bias_bits as f64)),
+        ]),
+    }
+}
+
+/// Generates the golden vector text for one format: a header line followed
+/// by one line per sampled code.
+pub fn generate(spec: &FormatSpec) -> String {
+    let format = spec.build();
+    let w = format.bit_width();
+    assert!(w <= 16, "golden vectors cover ≤16-bit formats, {} is {w}-bit", format.name());
+    let probe = probe_tensors().remove(0);
+    let q = format.real_to_format_tensor(&probe);
+    let stride = stride_for(w);
+    let total = 1u64 << w;
+
+    // FNV-1a 64 over the little-endian f32 bits of every decoded code.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut entries: Vec<String> = Vec::new();
+    for code in 0..total {
+        let bits = formats::Bitstring::from_u64(code, w as usize);
+        let v = format.format_to_real(&bits, &q.meta, 0);
+        for byte in v.to_bits().to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if code % stride == 0 {
+            entries.push(
+                Json::obj([
+                    ("code", Json::Str(format!("{code:#x}"))),
+                    ("value_bits", Json::Str(format!("{:#010x}", v.to_bits()))),
+                    ("value", Json::from_f32(v)),
+                ])
+                .to_compact(),
+            );
+        }
+    }
+
+    let header = Json::obj([
+        ("schema", Json::Str("goldeneye.conformance.vectors.v1".into())),
+        ("spec", Json::Str(spec.to_string())),
+        ("format", Json::Str(format.name())),
+        ("bit_width", Json::Num(w as f64)),
+        ("context", meta_json(&q.meta)),
+        ("codes", Json::Num(total as f64)),
+        ("stride", Json::Num(stride as f64)),
+        ("entries", Json::Num(entries.len() as f64)),
+        ("fnv1a64", Json::Str(format!("{hash:#018x}"))),
+    ]);
+
+    let mut out = header.to_compact();
+    out.push('\n');
+    for e in entries {
+        out.push_str(&e);
+        out.push('\n');
+    }
+    out
+}
+
+/// The checked-in golden text for a spec, if it is one of [`GOLDEN_SPECS`].
+pub fn embedded(spec: &FormatSpec) -> Option<&'static str> {
+    match golden_file_name(spec).as_str() {
+        "fp_e4m3.jsonl" => Some(include_str!("../golden/fp_e4m3.jsonl")),
+        "fp_e5m10.jsonl" => Some(include_str!("../golden/fp_e5m10.jsonl")),
+        "fp_e8m7.jsonl" => Some(include_str!("../golden/fp_e8m7.jsonl")),
+        "int8.jsonl" => Some(include_str!("../golden/int8.jsonl")),
+        "bfp_e5m5_b16.jsonl" => Some(include_str!("../golden/bfp_e5m5_b16.jsonl")),
+        "afp_e4m3.jsonl" => Some(include_str!("../golden/afp_e4m3.jsonl")),
+        _ => None,
+    }
+}
+
+/// Regenerates a spec's vector and diffs it byte-for-byte against the
+/// checked-in golden text. `Ok(())` when identical; otherwise the first
+/// differing line (or a length mismatch) is reported.
+pub fn diff(spec: &FormatSpec) -> Result<(), String> {
+    let golden =
+        embedded(spec).ok_or_else(|| format!("no golden vector checked in for `{spec}`"))?;
+    let fresh = generate(spec);
+    if golden == fresh {
+        return Ok(());
+    }
+    if golden.is_empty() {
+        return Err(format!(
+            "golden vector for `{spec}` is empty — regenerate with \
+             `goldeneye conformance --write-golden crates/conformance/golden`"
+        ));
+    }
+    for (n, (g, f)) in golden.lines().zip(fresh.lines()).enumerate() {
+        if g != f {
+            return Err(format!(
+                "golden mismatch for `{spec}` at line {}:\n  golden: {g}\n  fresh : {f}",
+                n + 1
+            ));
+        }
+    }
+    Err(format!(
+        "golden mismatch for `{spec}`: line count {} (golden) vs {} (fresh)",
+        golden.lines().count(),
+        fresh.lines().count()
+    ))
+}
+
+/// Parses all golden specs.
+pub fn golden_specs() -> Vec<FormatSpec> {
+    GOLDEN_SPECS.iter().map(|s| s.parse().expect("golden spec parses")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec: FormatSpec = "fp:e4m3".parse().unwrap();
+        assert_eq!(generate(&spec), generate(&spec));
+    }
+
+    #[test]
+    fn header_records_code_space_and_hash() {
+        let spec: FormatSpec = "int:8".parse().unwrap();
+        let text = generate(&spec);
+        let header = trace::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("codes").and_then(Json::as_u64), Some(256));
+        assert_eq!(header.get("entries").and_then(Json::as_u64), Some(256));
+        let h = header.get("fnv1a64").and_then(Json::as_str).unwrap();
+        assert!(h.starts_with("0x") && h.len() == 18, "{h}");
+    }
+
+    #[test]
+    fn sixteen_bit_formats_sample_with_stride_257() {
+        let spec: FormatSpec = "fp:e5m10".parse().unwrap();
+        let text = generate(&spec);
+        let header = trace::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("stride").and_then(Json::as_u64), Some(257));
+        assert_eq!(header.get("codes").and_then(Json::as_u64), Some(65536));
+        assert_eq!(header.get("entries").and_then(Json::as_u64), Some(256));
+    }
+
+    #[test]
+    fn golden_vectors_match_checked_in_files() {
+        for spec in golden_specs() {
+            if let Err(e) = diff(&spec) {
+                panic!("{e}");
+            }
+        }
+    }
+}

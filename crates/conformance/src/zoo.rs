@@ -1,0 +1,70 @@
+//! The standard format zoo: every parameterisation the paper's Table I and
+//! §IV experiments use, as [`FormatSpec`]s. `goldeneye conformance --all`
+//! and the CI conformance job run the oracle over exactly this list.
+
+use formats::FormatSpec;
+
+/// Spec strings of the standard zoo, in report order.
+///
+/// Formats with data width ≤ 16 bits get the exhaustive code-space oracle;
+/// the three wider ones (FP32, TF32, FxP(1,15,16)) get grid + sweep
+/// coverage only.
+pub const ZOO_SPECS: &[&str] = &[
+    // Floating point (Table I rows + §IV-B hyperparameter sweeps).
+    "fp:e4m3",
+    "fp:e4m3:nodn",
+    "fp:e5m2",
+    "fp:e5m10",
+    "fp:e5m10:nodn",
+    "fp:e8m7",
+    "fp:e8m7:nodn",
+    "fp:e6m9",
+    "fp:e8m10",
+    "fp:e8m23",
+    // Fixed point.
+    "fxp:1:3:4",
+    "fxp:1:7:8",
+    "fxp:1:15:16",
+    // Integer quantisation.
+    "int:8",
+    "int:16",
+    // Block floating point.
+    "bfp:e5m5:b16",
+    "bfp:e8m7:b16",
+    "bfp:e5m5:tensor",
+    // AdaptivFloat.
+    "afp:e4m3",
+    "afp:e3m4",
+    // Posits.
+    "posit:8:0",
+    "posit:16:1",
+];
+
+/// Parses the zoo. Panics only if a `ZOO_SPECS` literal is invalid, which
+/// the tests pin.
+pub fn standard_zoo() -> Vec<FormatSpec> {
+    ZOO_SPECS.iter().map(|s| s.parse().expect("zoo spec parses")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_parses_and_covers_all_families() {
+        let zoo = standard_zoo();
+        assert_eq!(zoo.len(), ZOO_SPECS.len());
+        let mut families: Vec<&str> = zoo.iter().map(crate::oracle::family_name).collect();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(families, ["afp", "bfp", "fp", "fxp", "int", "posit"]);
+    }
+
+    #[test]
+    fn zoo_has_both_exhaustive_and_wide_formats() {
+        let zoo = standard_zoo();
+        let widths: Vec<u32> = zoo.iter().map(|s| s.build().bit_width()).collect();
+        assert!(widths.iter().any(|&w| w <= 16));
+        assert!(widths.iter().any(|&w| w > 16));
+    }
+}

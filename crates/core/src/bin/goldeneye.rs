@@ -9,6 +9,7 @@
 //! goldeneye evaluate --model cnn --spec int:8 [--epochs 8]
 //! goldeneye campaign --model cnn --spec bfp:e5m5:tensor --site metadata --injections 20
 //! goldeneye dse --model cnn --family afp [--drop 0.02]
+//! goldeneye conformance --all [--report out.jsonl]
 //! goldeneye validate-trace run.jsonl
 //! ```
 //!
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args[1..], &global),
         Some("campaign") => cmd_campaign(&args[1..], &global),
         Some("dse") => cmd_dse(&args[1..], &global),
+        Some("conformance") => cmd_conformance(&args[1..], &global),
         Some("validate-trace") => cmd_validate_trace(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -146,6 +148,9 @@ fn print_usage() {
                     [--site value|metadata] [--injections N] [--jobs N]\n\
            dse --model cnn|vit --family <fam>      binary-tree format search\n\
                [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp\n\
+           conformance [--all | <spec>...]         bit-exact format conformance oracle\n\
+                       [--report <file.jsonl>]     (exhaustive for data widths ≤ 16 bits)\n\
+                       [--write-golden <dir>]      regenerate golden vectors\n\
            validate-trace <file.jsonl>             check a --trace-out file line by line\n\n\
          OBSERVABILITY (any subcommand):\n\
            --trace-out <path>   append structured JSONL events (spans, trials, manifest)\n\
@@ -337,6 +342,104 @@ fn cmd_dse(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     m.config.push(("model".to_string(), trace::Json::from(model_kind.as_str())));
     m.config.push(("family".to_string(), trace::Json::from(format!("{family:?}"))));
     global.finish(m)
+}
+
+fn cmd_conformance(args: &[String], global: &GlobalFlags) -> Result<(), String> {
+    let report_path = flag(args, "--report");
+    let write_golden = flag(args, "--write-golden");
+    let all = args.iter().any(|a| a == "--all");
+    let specs: Vec<formats::FormatSpec> = {
+        let named: Vec<&String> = args
+            .iter()
+            .enumerate()
+            .filter(|&(i, a)| {
+                !a.starts_with("--")
+                    && args
+                        .get(i.wrapping_sub(1))
+                        .is_none_or(|p| p != "--report" && p != "--write-golden")
+            })
+            .map(|(_, a)| a)
+            .collect();
+        if all || (named.is_empty() && write_golden.is_none()) {
+            conformance::standard_zoo()
+        } else {
+            named
+                .iter()
+                .map(|s| s.parse().map_err(|e| format!("bad spec `{s}`: {e}")))
+                .collect::<Result<_, String>>()?
+        }
+    };
+
+    if let Some(dir) = &write_golden {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create `{}`: {e}", dir.display()))?;
+        for spec in conformance::vectors::golden_specs() {
+            let path = dir.join(conformance::vectors::golden_file_name(&spec));
+            std::fs::write(&path, conformance::vectors::generate(&spec))
+                .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+            outln!("wrote {}", path.display());
+        }
+        return Ok(());
+    }
+
+    let t0 = Instant::now();
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let r = conformance::check_format(spec);
+        outln!("{}", conformance::report::summarize(&r));
+        for v in &r.violations {
+            outln!("  {v}");
+        }
+        reports.push(r);
+    }
+
+    // Golden-vector diffs for the specs that have checked-in vectors.
+    let mut golden_failures = 0usize;
+    for spec in conformance::vectors::golden_specs() {
+        if !specs.contains(&spec) {
+            continue;
+        }
+        match conformance::vectors::diff(&spec) {
+            Ok(()) => outln!("golden {:<18} ok", spec.to_string()),
+            Err(e) => {
+                golden_failures += 1;
+                outln!("golden {:<18} MISMATCH\n  {e}", spec.to_string());
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    if let Some(path) = &report_path {
+        std::fs::write(path, conformance::report::to_jsonl(&reports))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        logln!(Level::Info, "report written to {path}");
+    }
+
+    let checks: u64 = reports.iter().map(|r| r.checks).sum();
+    let codes: u64 = reports.iter().map(|r| r.codes_checked).sum();
+    let violations: usize = reports.iter().map(|r| r.violations.len()).sum();
+    outln!(
+        "\n{} format(s), {} code(s) enumerated, {} check(s), {} violation(s) in {:.1}s",
+        reports.len(),
+        codes,
+        checks,
+        violations,
+        wall
+    );
+    let mut m = RunManifest::new("goldeneye conformance")
+        .with_config("formats", reports.len() as u64)
+        .with_extra("codes_checked", codes as f64)
+        .with_extra("checks", checks as f64)
+        .with_extra("violations", violations as f64);
+    m.wall_time_s = wall;
+    global.finish(m)?;
+    if violations > 0 || golden_failures > 0 {
+        return Err(format!(
+            "{violations} law violation(s), {golden_failures} golden mismatch(es)"
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_validate_trace(args: &[String]) -> Result<(), String> {

@@ -8,7 +8,7 @@
 
 use crate::bitstring::Bitstring;
 use crate::format::{DynamicRange, NumberFormat, Quantized};
-use crate::fp::{exp2, exponent_of, FpParams};
+use crate::fp::{exp2, exponent_of, f32_saturate, mul_pow2, FpParams};
 use crate::metadata::Metadata;
 use tensor::Tensor;
 
@@ -126,12 +126,19 @@ impl NumberFormat for AdaptivFloat {
 
     fn real_to_format(&self, value: f32, meta: &Metadata, _index: usize) -> Bitstring {
         let bias = Self::expect_bias(meta);
-        self.params.encode(value as f64 / exp2(bias as i64))
+        // `mul_pow2` keeps the rescale finite even when a register flip has
+        // driven |bias| far beyond f64's exponent range (law `meta-flip-finite`).
+        self.params.encode(mul_pow2(value as f64, -(bias as i64)))
     }
 
     fn format_to_real(&self, bits: &Bitstring, meta: &Metadata, _index: usize) -> f32 {
         let bias = Self::expect_bias(meta);
-        (self.params.decode(bits) * exp2(bias as i64)) as f32
+        let decoded = self.params.decode(bits);
+        if !decoded.is_finite() {
+            // Explicit Inf/NaN codes stay Inf/NaN regardless of the bias.
+            return decoded as f32;
+        }
+        f32_saturate(mul_pow2(decoded, bias as i64))
     }
 
     fn dynamic_range(&self) -> DynamicRange {
@@ -150,8 +157,12 @@ impl NumberFormat for AdaptivFloat {
         if ob == nb {
             return values.clone();
         }
-        let ratio = exp2(nb as i64) / exp2(ob as i64);
-        values.map(|x| (x as f64 * ratio) as f32)
+        let delta = nb as i64 - ob as i64;
+        // Representable max under the flipped bias; `mul_pow2` never turns a
+        // finite window edge into NaN, and a too-large bias simply yields an
+        // infinite (i.e. non-binding) limit before f32 fabric saturation.
+        let limit = mul_pow2(self.params.max_value(), nb as i64);
+        values.map(|x| f32_saturate(mul_pow2(x as f64, delta).clamp(-limit, limit)))
     }
 }
 
@@ -284,5 +295,80 @@ mod tests {
         let afp = AdaptivFloat::new(4, 3);
         let q = afp.real_to_format_tensor(&Tensor::zeros([3]));
         assert_eq!(q.meta, Metadata::ExpBias { bias: 0, bias_bits: 4 });
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_codes() {
+        // Law `round-trip`: decode→encode→decode is a bitwise fixpoint for
+        // every code under several bias contexts (the AFP analogue of
+        // fp.rs::encode_decode_roundtrip_all_codes). NaN codes re-encode to
+        // the canonical NaN, whose decode is NaN again.
+        let afp = AdaptivFloat::new(4, 3);
+        for bias in [-8, -1, 0, 7] {
+            let meta = Metadata::ExpBias { bias, bias_bits: 4 };
+            for code in 0..256u64 {
+                let bits = Bitstring::from_u64(code, 8);
+                let v1 = afp.format_to_real(&bits, &meta, 0);
+                let bits2 = afp.real_to_format(v1, &meta, 0);
+                let v2 = afp.format_to_real(&bits2, &meta, 0);
+                assert!(
+                    v1.to_bits() == v2.to_bits() || (v1.is_nan() && v2.is_nan()),
+                    "bias {bias} code {code:#04x}: {v1} → {v2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn law_meta_flip_finite_all_single_bit_flips() {
+        // Law `meta-flip-finite`: no single-bit flip of the bias register
+        // may drive a stored (finite) value to Inf/NaN. Before the fix,
+        // `exp2(nb)/exp2(ob)` overflowed f64 for wide registers (a 16-bit
+        // register swings the bias by 2^15 on an MSB flip), poisoning the
+        // whole tensor with Inf/NaN.
+        for bias_bits in [4u32, 8, 16] {
+            let afp = AdaptivFloat::new(4, 3).with_bias_bits(bias_bits);
+            // 100.0 has exponent 6 = emax − 1 → bias −1, whose register
+            // pattern is all-ones: flips exercise the downward deltas; a
+            // zero bias exercises the upward ones.
+            for seed in [vec![100.0, -0.25, 0.0, -0.0], vec![0.5, -0.25, 0.0, -0.0]] {
+                let x = Tensor::from_vec(seed, [4]);
+                let q = afp.real_to_format_tensor(&x);
+                let bits = q.meta.word_bits(0).unwrap();
+                for bit in 0..bits.len() {
+                    let corrupted = q.meta.with_word_bits(0, &bits.with_flip(bit));
+                    let y = afp.apply_metadata(&q.values, &q.meta, &corrupted);
+                    for (i, v) in y.as_slice().iter().enumerate() {
+                        assert!(
+                            v.is_finite(),
+                            "bias_bits {bias_bits}, flip bit {bit}, element {i}: {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn law_meta_flip_range_saturates_at_window_max() {
+        // Law `meta-flip-range`: rescaled values stay inside the flipped
+        // window's representable range, saturating at the f32 fabric max
+        // when the shifted window exceeds it.
+        let afp = AdaptivFloat::new(4, 3).with_bias_bits(8);
+        let x = Tensor::from_vec(vec![100.0, -50.0], [2]);
+        let q = afp.real_to_format_tensor(&x);
+        let ob = match q.meta {
+            Metadata::ExpBias { bias, .. } => bias,
+            _ => unreachable!(),
+        };
+        // Drive the bias to the register's positive limit: the window tops
+        // out far beyond f32, so values saturate at ±f32::MAX, never ±Inf.
+        let corrupted = Metadata::ExpBias { bias: 127, bias_bits: 8 };
+        let y = afp.apply_metadata(&q.values, &q.meta, &corrupted);
+        assert!(ob < 127);
+        for (i, v) in y.as_slice().iter().enumerate() {
+            assert!(v.is_finite(), "element {i}: {v}");
+            assert_eq!(v.abs(), f32::MAX, "element {i}: {v}");
+        }
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::bitstring::Bitstring;
 use crate::format::{DynamicRange, NumberFormat, Quantized};
-use crate::fp::{exp2, exponent_of, round_ties_even};
+use crate::fp::{exp2, exponent_of, f32_saturate, round_ties_even};
 use crate::metadata::Metadata;
 use tensor::Tensor;
 
@@ -97,6 +97,10 @@ impl BlockFloatingPoint {
         if max_abs == 0.0 {
             return 0;
         }
+        if !max_abs.is_finite() {
+            // An Inf element pins the block at the top exponent code.
+            return self.max_code() as u32;
+        }
         let e = exponent_of(max_abs);
         (e + self.bias()).clamp(0, self.max_code()) as u32
     }
@@ -145,9 +149,17 @@ impl NumberFormat for BlockFloatingPoint {
             codes.push(code);
             let step = self.step_for_code(code);
             for &x in block {
-                let sign = if x < 0.0 { -1.0 } else { 1.0 };
-                let mag = round_ties_even((x as f64).abs() / step).min(self.mag_max() as f64);
-                values.push((sign * mag * step) as f32);
+                // `is_sign_negative` (not `< 0.0`) so a −0.0 element keeps
+                // its sign bit through the round trip (law `round-trip`),
+                // matching `FpParams::encode`. NaN has no magnitude in BFP:
+                // it quantises to (signed) zero, as in the scalar Method 3.
+                let sign = if x.is_sign_negative() { -1.0 } else { 1.0 };
+                let mag = if x.is_nan() {
+                    0.0
+                } else {
+                    round_ties_even((x as f64).abs() / step).min(self.mag_max() as f64)
+                };
+                values.push(f32_saturate(sign * mag * step));
             }
         }
         Quantized {
@@ -164,7 +176,10 @@ impl NumberFormat for BlockFloatingPoint {
         let (codes, bs) = Self::codes_of(meta);
         let code = codes[index / bs];
         let step = self.step_for_code(code);
-        let sign = (value < 0.0) as u64;
+        // `is_sign_negative` so −0.0 encodes its sign bit (law `round-trip`:
+        // decode→encode→decode must be a bitwise fixpoint, and a sign-bit
+        // flip on a −0.0 element must report old ≠ new).
+        let sign = (value.is_sign_negative()) as u64;
         let v = value as f64;
         let mag = if v.is_nan() {
             0
@@ -182,7 +197,7 @@ impl NumberFormat for BlockFloatingPoint {
         let step = self.step_for_code(code);
         let sign = if bits.bit(0) { -1.0 } else { 1.0 };
         let mag = bits.field(1, self.man_bits as usize).to_u64() as f64;
-        (sign * mag * step) as f32
+        f32_saturate(sign * mag * step)
     }
 
     fn dynamic_range(&self) -> DynamicRange {
@@ -207,11 +222,30 @@ impl NumberFormat for BlockFloatingPoint {
             if oc == nc {
                 continue;
             }
-            let ratio = exp2(nc as i64 - oc as i64);
-            let start = b * bs;
-            let end = (start + bs).min(values.numel());
+            // Hardware keeps the stored sign+magnitude codes; only the
+            // shared-exponent register changed. Recover each element's
+            // magnitude code under the old step and re-decode it under the
+            // new one, saturating at the flipped block's representable max
+            // (law `meta-flip-range`): a naive `· 2^(nc − oc)` overflows
+            // f64→f32 to ±Inf for large code deltas, a value no BFP code
+            // can represent.
+            let old_step = self.step_for_code(oc);
+            let new_step = self.step_for_code(nc);
+            let mag_max = self.mag_max() as f64;
+            let limit = mag_max * new_step;
+            // Saturating index arithmetic: a per-tensor block (`block_size
+            // == usize::MAX`) must not overflow `start + bs`.
+            let start = b.saturating_mul(bs).min(values.numel());
+            let end = start.saturating_add(bs).min(values.numel());
             for v in &mut out.as_mut_slice()[start..end] {
-                *v = (*v as f64 * ratio) as f32;
+                let vf = *v as f64;
+                let sign = if vf.is_sign_negative() { -1.0f64 } else { 1.0 };
+                let mag = (vf.abs() / old_step).min(mag_max);
+                *v = if mag == 0.0 {
+                    (sign * 0.0) as f32
+                } else {
+                    f32_saturate(sign * (mag * new_step).min(limit))
+                };
             }
         }
         out
@@ -328,5 +362,62 @@ mod tests {
         let q = bfp.real_to_format_tensor(&x);
         assert_eq!(q.meta.word_count(), 2);
         assert_eq!(q.values.as_slice()[5], 1.0);
+    }
+
+    #[test]
+    fn law_meta_flip_finite_all_single_bit_flips() {
+        // Law `meta-flip-finite`: no single-bit flip of a shared-exponent
+        // register may drive any stored value to Inf/NaN — BFP has no
+        // Inf/NaN codes, and §IV's finding that BFP injections are
+        // Inf/NaN-free must survive metadata faults. Before the fix,
+        // `· 2^(nc − oc)` overflowed f64→f32 to ±Inf for large upward code
+        // deltas (e.g. bfloat-style e8m7, whose top step is 2^122).
+        let bfp = BlockFloatingPoint::new(8, 7, 4);
+        let x = Tensor::from_vec(vec![4.0, -2.0, 1.0, -0.0], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        let max_abs = bfp.dynamic_range().max_abs;
+        let bits = q.meta.word_bits(0).unwrap();
+        for bit in 0..bits.len() {
+            let corrupted = q.meta.with_word_bits(0, &bits.with_flip(bit));
+            let y = bfp.apply_metadata(&q.values, &q.meta, &corrupted);
+            for (i, v) in y.as_slice().iter().enumerate() {
+                assert!(v.is_finite(), "flip bit {bit}, element {i}: {v}");
+                assert!((*v as f64).abs() <= max_abs, "flip bit {bit}, element {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn law_round_trip_negative_zero_keeps_sign() {
+        // Law `round-trip`: −0.0 must encode its sign bit so decode→encode→
+        // decode is a bitwise fixpoint (matching `FpParams::encode`) and a
+        // sign-bit flip on a −0.0 element reports old ≠ new. The old
+        // `(value < 0.0)` test dropped it.
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let x = Tensor::from_vec(vec![4.0, -0.0, 0.0, 1.0], [4]);
+        let q = bfp.real_to_format_tensor(&x);
+        assert!(q.values.as_slice()[1].is_sign_negative(), "Method 1 must keep −0.0");
+        let bits = bfp.real_to_format(-0.0, &q.meta, 1);
+        assert!(bits.bit(0), "sign bit must be set for −0.0");
+        let back = bfp.format_to_real(&bits, &q.meta, 1);
+        assert!(back == 0.0 && back.is_sign_negative());
+        // The sign-bit flip is a real change, not `old == new`.
+        let flipped = bfp.format_to_real(&bits.with_flip(0), &q.meta, 1);
+        assert!(flipped == 0.0 && !flipped.is_sign_negative());
+    }
+
+    #[test]
+    fn law_meta_flip_range_per_tensor_block_no_overflow() {
+        // Law `meta-flip-range` on a per-tensor block: `block_size ==
+        // usize::MAX` must not overflow the `b·bs` / `start+bs` index
+        // arithmetic in `apply_metadata`.
+        let bfp = BlockFloatingPoint::per_tensor(5, 5);
+        let x = Tensor::from_vec(vec![2.0, -1.0, 0.5], [3]);
+        let q = bfp.real_to_format_tensor(&x);
+        let bits = q.meta.word_bits(0).unwrap();
+        let corrupted = q.meta.with_word_bits(0, &bits.with_flip(bfp.exp_bits() as usize - 1));
+        let y = bfp.apply_metadata(&q.values, &q.meta, &corrupted);
+        let r = y.as_slice()[0] / q.values.as_slice()[0];
+        assert!(r == 2.0 || r == 0.5, "ratio {r}");
     }
 }

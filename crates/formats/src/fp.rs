@@ -204,6 +204,41 @@ pub(crate) fn exp2(k: i64) -> f64 {
     (2.0f64).powi(k as i32)
 }
 
+/// `x · 2^k` computed without intermediate overflow: the scaling is applied
+/// in chunks small enough that `exp2` stays finite, so a huge `k` (e.g. a
+/// corrupted 16-bit AdaptivFloat bias register, `|k|` up to 2^15) degrades
+/// gracefully to ±Inf / ±0 instead of poisoning the product with NaN.
+///
+/// Signed zeros and non-finite inputs pass through unchanged.
+pub fn mul_pow2(x: f64, k: i64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let mut v = x;
+    let mut k = k;
+    while k != 0 {
+        let s = k.clamp(-900, 900);
+        v *= exp2(s);
+        k -= s;
+        if v == 0.0 || v.is_infinite() {
+            break;
+        }
+    }
+    v
+}
+
+/// Casts an f64 onto the f32 compute fabric, saturating at `±f32::MAX`
+/// instead of overflowing to ±Inf — the paper's emulation "writes the
+/// number back at the nearest value" the fabric can hold, and only explicit
+/// Inf/NaN *codes* may decode to non-finite values. NaN passes through;
+/// signed zeros and underflow-to-zero keep their sign.
+pub fn f32_saturate(x: f64) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    x.clamp(-(f32::MAX as f64), f32::MAX as f64) as f32
+}
+
 /// Unbiased binary exponent of a positive, finite, normal-in-f64 value.
 pub(crate) fn exponent_of(a: f64) -> i64 {
     debug_assert!(a > 0.0 && a.is_finite());
@@ -304,6 +339,14 @@ impl FloatingPoint {
     /// Quantises a single value (exposed for tests and the DSE heuristic).
     pub fn quantize_scalar(&self, x: f32) -> f32 {
         self.params.quantize_f32(x)
+    }
+
+    /// The exact f64 reference quantiser — the slow path the bit-twiddling
+    /// fast path ([`FloatingPoint::quantize_scalar`]) must agree with
+    /// bit-for-bit. Exposed so the conformance oracle can run differential
+    /// sweeps (law `fast-slow-agreement`) from outside this crate.
+    pub fn quantize_reference(&self, x: f32) -> f32 {
+        self.params.quantize(x as f64) as f32
     }
 }
 

@@ -169,6 +169,27 @@ mod tests {
     }
 
     #[test]
+    fn encode_decode_roundtrip_all_codes() {
+        // Law `round-trip`: decode→encode→decode is a bitwise fixpoint for
+        // every code (the FxP analogue of
+        // fp.rs::encode_decode_roundtrip_all_codes). Two's complement is
+        // asymmetric: the most-negative pattern −2^(i+f) is a real code and
+        // must round-trip unchanged, unlike INT's symmetric grid.
+        for (i, fr) in [(3u32, 4u32), (7, 8)] {
+            let f = FixedPoint::new(i, fr);
+            let w = f.bit_width() as usize;
+            for code in 0..(1u64 << w) {
+                let b1 = Bitstring::from_u64(code, w);
+                let v1 = f.format_to_real(&b1, &Metadata::None, 0);
+                let b2 = f.real_to_format(v1, &Metadata::None, 0);
+                assert_eq!(b1.to_u64(), b2.to_u64(), "fxp(1,{i},{fr}) code {code:#x}: {v1}");
+                let v2 = f.format_to_real(&b2, &Metadata::None, 0);
+                assert_eq!(v1.to_bits(), v2.to_bits(), "fxp(1,{i},{fr}) code {code:#x}");
+            }
+        }
+    }
+
+    #[test]
     fn tensor_path_matches_scalar() {
         let f = FixedPoint::new(2, 5);
         let x = Tensor::from_vec(vec![0.11, -3.99, 2.0, 8.0], [4]);

@@ -110,7 +110,11 @@ impl NumberFormat for IntQuant {
 
     fn format_to_real(&self, bits: &Bitstring, meta: &Metadata, _index: usize) -> f32 {
         let scale = Self::expect_scale(meta);
-        (bits.to_i64() as f64 * scale as f64) as f32
+        // The grid is symmetric (Table I: INT8 spans −127..127); the
+        // two's-complement pattern for −2^(b−1) is an alias of −qmax, so
+        // decode→encode→decode stays a fixpoint (law `round-trip`).
+        let code = bits.to_i64().clamp(-self.qmax(), self.qmax());
+        (code as f64 * scale as f64) as f32
     }
 
     fn dynamic_range(&self) -> DynamicRange {
@@ -126,11 +130,14 @@ impl NumberFormat for IntQuant {
     fn apply_metadata(&self, values: &Tensor, old: &Metadata, new: &Metadata) -> Tensor {
         let old_s = Self::expect_scale(old);
         let new_s = Self::expect_scale(new);
-        if old_s == 0.0 {
+        if old_s == new_s {
             return values.clone();
         }
-        let ratio = new_s as f64 / old_s as f64;
-        values.map(|x| (x as f64 * ratio) as f32)
+        // Hardware keeps the stored integer codes; only the FP32 scale
+        // register changed. Recover each code and redo the dequantising
+        // multiply — the old ratio-based rescale lost the code grid (and
+        // divided by zero for a zeroed-out register).
+        values.map(|x| (self.code_of(x, old_s) as f64 * new_s as f64) as f32)
     }
 }
 
@@ -214,5 +221,71 @@ mod tests {
         let meta = Metadata::Scale(1.0);
         let bits = f.real_to_format(100.0, &meta, 0);
         assert_eq!(f.format_to_real(&bits, &meta, 0), 7.0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_codes() {
+        // Law `round-trip`: decode→encode→decode is a bitwise fixpoint for
+        // every code (the INT analogue of
+        // fp.rs::encode_decode_roundtrip_all_codes). Scale 2^−5 keeps
+        // code·scale exact in f32 so the grid recovery is lossless.
+        for width in [4u32, 8, 16] {
+            let f = IntQuant::new(width);
+            let meta = Metadata::Scale(0.03125);
+            for code in 0..(1u64 << width) {
+                let b1 = Bitstring::from_u64(code, width as usize);
+                let v1 = f.format_to_real(&b1, &meta, 0);
+                let b2 = f.real_to_format(v1, &meta, 0);
+                let v2 = f.format_to_real(&b2, &meta, 0);
+                assert_eq!(v1.to_bits(), v2.to_bits(), "int{width} code {code:#x}: {v1} → {v2}");
+            }
+        }
+    }
+
+    #[test]
+    fn law_range_containment_most_negative_code() {
+        // Laws `round-trip` + `range-containment`: the two's-complement
+        // pattern −2^(b−1) must decode inside the symmetric ±qmax grid
+        // (Table I: INT8 spans −127..127) — it aliases −qmax. Before the
+        // fix it decoded to −128·scale, outside `dynamic_range()`, and
+        // decode→encode→decode was not a fixpoint on it.
+        let f = IntQuant::new(8);
+        let meta = Metadata::Scale(1.0);
+        let b = Bitstring::from_u64(0x80, 8);
+        let v = f.format_to_real(&b, &meta, 0);
+        assert_eq!(v, -127.0);
+        assert!((v.abs() as f64) <= f.dynamic_range().max_abs);
+    }
+
+    #[test]
+    fn law_meta_flip_keeps_code_grid() {
+        // Law `meta-flip-range`: after a scale-register flip the stored
+        // values must lie on the *new* code grid {−qmax..qmax}·new_scale —
+        // hardware keeps the integer codes and only the dequantising
+        // multiply changes. The old ratio-based rescale drifted off-grid
+        // (double rounding) and divided by zero for a zeroed register.
+        let f = IntQuant::new(8);
+        let x = Tensor::from_vec(vec![1.0, -0.62, 0.003], [3]);
+        let q = f.real_to_format_tensor(&x);
+        let old_s = IntQuant::expect_scale(&q.meta);
+        let new_s = old_s * 3.7;
+        let y = f.apply_metadata(&q.values, &q.meta, &Metadata::Scale(new_s));
+        for (i, (&v0, &v1)) in q.values.as_slice().iter().zip(y.as_slice()).enumerate() {
+            let code = f.code_of(v0, old_s);
+            assert_eq!(v1, (code as f64 * new_s as f64) as f32, "element {i}");
+            assert!(code.abs() <= f.qmax());
+        }
+    }
+
+    #[test]
+    fn law_meta_flip_zeroed_scale_register() {
+        // A flip that zeroes the scale register collapses the tensor to
+        // zero — the dequantising multiply is code·0 — instead of leaving
+        // stale values behind.
+        let f = IntQuant::new(8);
+        let x = Tensor::from_vec(vec![1.0, -0.5], [2]);
+        let q = f.real_to_format_tensor(&x);
+        let y = f.apply_metadata(&q.values, &q.meta, &Metadata::Scale(0.0));
+        assert_eq!(y.as_slice(), &[0.0, 0.0]);
     }
 }

@@ -53,7 +53,7 @@ pub use afp::AdaptivFloat;
 pub use bfp::BlockFloatingPoint;
 pub use bitstring::Bitstring;
 pub use format::{flip_value_bit, DynamicRange, NumberFormat, Quantized};
-pub use fp::FloatingPoint;
+pub use fp::{f32_saturate, mul_pow2, FloatingPoint};
 pub use fxp::FixedPoint;
 pub use int::IntQuant;
 pub use metadata::Metadata;

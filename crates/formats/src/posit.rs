@@ -284,6 +284,27 @@ mod tests {
     }
 
     #[test]
+    fn encode_decode_roundtrip_all_codes() {
+        // Law `round-trip`: decode→encode→decode is a fixpoint for every
+        // code, including NaR, across widths and es (extends the
+        // fp.rs::encode_decode_roundtrip_all_codes pattern to posits; the
+        // older bitstring_roundtrip_all_codes covers only posit(8,2)).
+        for (n, es) in [(6u32, 0u32), (8, 0), (8, 1), (10, 2)] {
+            let p = Posit::new(n, es);
+            for code in 0..(1u64 << n) {
+                let b1 = Bitstring::from_u64(code, n as usize);
+                let v1 = p.format_to_real(&b1, &Metadata::None, 0);
+                let b2 = p.real_to_format(v1, &Metadata::None, 0);
+                let v2 = p.format_to_real(&b2, &Metadata::None, 0);
+                assert!(
+                    v1.to_bits() == v2.to_bits() || (v1.is_nan() && v2.is_nan()),
+                    "posit({n},{es}) code {code:#x}: {v1} → {v2}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn tapered_precision_beats_fp8_near_one() {
         // Posit8(es0) has 5 fraction bits near 1.0; FP8 e4m3 has 3.
         use crate::fp::FloatingPoint;

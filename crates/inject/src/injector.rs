@@ -18,6 +18,49 @@ pub struct Fault {
     pub bit: usize,
 }
 
+/// Why a fault could not be sampled: the requested fault space is empty.
+///
+/// Returned by the `try_*` sampling methods; the panicking variants use
+/// its [`Display`](std::fmt::Display) text as their panic message, so an
+/// empty tensor is no longer misreported as "format has no metadata words".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmptyFaultSpace {
+    /// The tensor has zero elements, so there are no value bits to flip.
+    NoElements,
+    /// The data word width is zero bits.
+    ZeroBitWidth,
+    /// The format carries no hardware metadata (e.g. plain FP or FxP).
+    NoMetadataWords,
+    /// The format does carry metadata, but quantising a 0-element tensor
+    /// produced zero metadata words, so there is nothing to flip.
+    EmptyTensorMetadata,
+}
+
+impl std::fmt::Display for EmptyFaultSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmptyFaultSpace::NoElements => {
+                write!(f, "empty fault space: tensor has 0 elements")
+            }
+            EmptyFaultSpace::ZeroBitWidth => {
+                write!(f, "empty fault space: data width is 0 bits")
+            }
+            EmptyFaultSpace::NoMetadataWords => {
+                write!(f, "empty fault space: format has no metadata words")
+            }
+            EmptyFaultSpace::EmptyTensorMetadata => {
+                write!(
+                    f,
+                    "empty fault space: 0-element tensor produced no metadata words \
+                     (the format does carry metadata; quantise a non-empty tensor)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmptyFaultSpace {}
+
 /// Seeded sampler of fault locations.
 ///
 /// # Examples
@@ -45,18 +88,53 @@ impl Injector {
     }
 
     /// Samples a uniform value-bit fault for a tensor of `numel` elements
+    /// in a `bit_width`-bit format, or reports why the space is empty.
+    pub fn try_sample_value_fault(
+        &mut self,
+        numel: usize,
+        bit_width: usize,
+    ) -> Result<Fault, EmptyFaultSpace> {
+        if numel == 0 {
+            return Err(EmptyFaultSpace::NoElements);
+        }
+        if bit_width == 0 {
+            return Err(EmptyFaultSpace::ZeroBitWidth);
+        }
+        Ok(Fault {
+            kind: SiteKind::Value,
+            index: self.rng.gen_range(0..numel),
+            bit: self.rng.gen_range(0..bit_width),
+        })
+    }
+
+    /// Samples a uniform value-bit fault for a tensor of `numel` elements
     /// in a `bit_width`-bit format.
     ///
     /// # Panics
     ///
     /// Panics if `numel` or `bit_width` is zero.
     pub fn sample_value_fault(&mut self, numel: usize, bit_width: usize) -> Fault {
-        assert!(numel > 0 && bit_width > 0, "empty fault space");
-        Fault {
-            kind: SiteKind::Value,
-            index: self.rng.gen_range(0..numel),
-            bit: self.rng.gen_range(0..bit_width),
+        match self.try_sample_value_fault(numel, bit_width) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Samples a uniform metadata-bit fault given word count and width, or
+    /// reports why the space is empty.
+    pub fn try_sample_metadata_fault(
+        &mut self,
+        words: usize,
+        word_width: usize,
+    ) -> Result<Fault, EmptyFaultSpace> {
+        if words == 0 || word_width == 0 {
+            return Err(EmptyFaultSpace::NoMetadataWords);
+        }
+        Ok(Fault {
+            kind: SiteKind::Metadata,
+            index: self.rng.gen_range(0..words),
+            bit: self.rng.gen_range(0..word_width),
+        })
     }
 
     /// Samples a uniform metadata-bit fault given word count and width.
@@ -65,36 +143,78 @@ impl Injector {
     ///
     /// Panics if `words` or `word_width` is zero.
     pub fn sample_metadata_fault(&mut self, words: usize, word_width: usize) -> Fault {
-        assert!(words > 0 && word_width > 0, "format has no metadata words");
-        Fault {
-            kind: SiteKind::Metadata,
-            index: self.rng.gen_range(0..words),
-            bit: self.rng.gen_range(0..word_width),
+        match self.try_sample_metadata_fault(words, word_width) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
         }
     }
 
+    /// Samples and executes a random single-bit value flip on `q`, or
+    /// reports an empty fault space (0-element tensor).
+    pub fn try_inject_random_value(
+        &mut self,
+        format: &dyn NumberFormat,
+        q: &mut Quantized,
+    ) -> Result<ValueFlip, EmptyFaultSpace> {
+        let f = self.try_sample_value_fault(q.values.numel(), format.bit_width() as usize)?;
+        Ok(flip_value(format, q, f.index, f.bit))
+    }
+
     /// Samples and executes a random single-bit value flip on `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has 0 elements.
     pub fn inject_random_value(
         &mut self,
         format: &dyn NumberFormat,
         q: &mut Quantized,
     ) -> ValueFlip {
-        let f = self.sample_value_fault(q.values.numel(), format.bit_width() as usize);
-        flip_value(format, q, f.index, f.bit)
+        match self.try_inject_random_value(format, q) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Samples and executes a random single-bit metadata flip on `q`, or
+    /// reports an empty fault space — distinguishing a format with no
+    /// metadata from a metadata-carrying format handed a 0-element tensor
+    /// (which quantises to zero metadata words).
+    pub fn try_inject_random_metadata(
+        &mut self,
+        format: &dyn NumberFormat,
+        q: &mut Quantized,
+    ) -> Result<MetadataFlip, EmptyFaultSpace> {
+        let f = self.try_sample_metadata_fault(q.meta.word_count(), q.meta.word_width()).map_err(
+            |e| {
+                if e == EmptyFaultSpace::NoMetadataWords
+                    && format.supports_metadata_injection()
+                    && q.values.numel() == 0
+                {
+                    EmptyFaultSpace::EmptyTensorMetadata
+                } else {
+                    e
+                }
+            },
+        )?;
+        Ok(flip_metadata(format, q, f.index, f.bit))
     }
 
     /// Samples and executes a random single-bit metadata flip on `q`.
     ///
     /// # Panics
     ///
-    /// Panics if the format carries no metadata.
+    /// Panics if the format carries no metadata, or if the tensor is empty
+    /// (zero metadata words).
     pub fn inject_random_metadata(
         &mut self,
         format: &dyn NumberFormat,
         q: &mut Quantized,
     ) -> MetadataFlip {
-        let f = self.sample_metadata_fault(q.meta.word_count(), q.meta.word_width());
-        flip_metadata(format, q, f.index, f.bit)
+        match self.try_inject_random_metadata(format, q) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Access to the underlying RNG (for campaign-level sampling such as
@@ -158,6 +278,27 @@ mod tests {
                 assert_ne!(rec.old, rec.new);
             }
         }
+    }
+
+    #[test]
+    fn law_empty_fault_space_clear_errors() {
+        // A 0-element tensor must report an empty fault space explicitly —
+        // not the misleading "format has no metadata words" (the format
+        // *does* carry metadata; the tensor just produced zero words).
+        let bfp = BlockFloatingPoint::new(5, 5, 4);
+        let mut inj = Injector::new(1);
+        let mut q = bfp.real_to_format_tensor(&Tensor::zeros([0]));
+        let err = inj.try_inject_random_metadata(&bfp, &mut q).unwrap_err();
+        assert_eq!(err, EmptyFaultSpace::EmptyTensorMetadata);
+        assert!(err.to_string().contains("0-element tensor"), "{err}");
+        let err = inj.try_inject_random_value(&bfp, &mut q).unwrap_err();
+        assert_eq!(err, EmptyFaultSpace::NoElements);
+        // A format with no metadata at all reports that, even on a
+        // non-empty tensor.
+        let fp = FloatingPoint::fp16();
+        let mut q = fp.real_to_format_tensor(&Tensor::ones([4]));
+        let err = inj.try_inject_random_metadata(&fp, &mut q).unwrap_err();
+        assert_eq!(err, EmptyFaultSpace::NoMetadataWords);
     }
 
     #[test]

@@ -32,6 +32,6 @@ mod range;
 mod site;
 
 pub use flip::{flip_metadata, flip_value, flip_value_multi, MetadataFlip, ValueFlip};
-pub use injector::{Fault, Injector};
+pub use injector::{EmptyFaultSpace, Fault, Injector};
 pub use range::RangeProfile;
 pub use site::{FormatFamily, InjectionSite, SiteKind};
