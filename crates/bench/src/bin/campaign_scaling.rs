@@ -106,6 +106,28 @@ fn main() {
         println!();
     }
 
+    // Kernel before/after: end-to-end trials/sec of the serial campaign
+    // with the legacy axpy GEMM vs. the packed register-tiled kernel
+    // (everything else — injection, quantise, statistics — identical).
+    let cfg = CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 17, jobs: 1 };
+    let trials = run_campaign(&ge, model.as_ref(), &x, &y, &cfg).trials.len();
+    // Interleave the repetitions (legacy, packed, legacy, packed, …) so a
+    // noisy-neighbour slow phase on shared hardware cannot land entirely
+    // on one kernel's measurement window; best-of per kernel as above.
+    let (mut before_s, mut after_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        tensor::linalg::set_legacy_kernel(true);
+        before_s = before_s.min(best_time(1, &ge, model.as_ref(), &x, &y, &cfg));
+        tensor::linalg::set_legacy_kernel(false);
+        after_s = after_s.min(best_time(1, &ge, model.as_ref(), &x, &y, &cfg));
+    }
+    let (before_tps, after_tps) = (trials as f64 / before_s, trials as f64 / after_s);
+    println!(
+        "Kernel throughput (serial, {trials} trials): legacy axpy {before_tps:.2} trials/s, \
+         packed {after_tps:.2} trials/s ({:.2}x)\n",
+        after_tps / before_tps
+    );
+
     // Tracing-overhead budget: the same serial campaign with the event
     // layer recording (ring-buffer sink, Info level) vs. off. Per-trial
     // cost with tracing off is one relaxed atomic load, so the overhead
@@ -130,6 +152,10 @@ fn main() {
         .with_extra("trace_overhead", Json::Num(overhead))
         .with_extra("trace_overhead_budget", Json::Num(0.02))
         .with_extra("untraced_s", Json::Num(off))
-        .with_extra("traced_s", Json::Num(on));
+        .with_extra("traced_s", Json::Num(on))
+        .with_extra("serial_trials", Json::from(trials))
+        .with_extra("trials_per_sec_legacy_kernel", Json::Num(before_tps))
+        .with_extra("trials_per_sec_packed_kernel", Json::Num(after_tps))
+        .with_extra("kernel_throughput_ratio", Json::Num(after_tps / before_tps));
     args.finish_run(manifest, Some("BENCH_campaign.json"));
 }

@@ -125,6 +125,8 @@ pub fn prepare_model(kind: ModelKind) -> (Box<dyn Module>, f32) {
 pub struct BenchArgs {
     /// `--full`: paper-scale parameters (e.g. 1000 injections/layer).
     pub full: bool,
+    /// `--quick`: CI-smoke parameters (small sizes, few repetitions).
+    pub quick: bool,
     /// `--injections N`: override the per-layer injection count.
     pub injections: Option<usize>,
     /// `--jobs N`: campaign worker threads (1 = serial, 0 = all cores).
@@ -142,11 +144,13 @@ impl BenchArgs {
     /// `--trace-out <path>` (structured JSONL events), `--log-level
     /// <lvl>` / `-v` / `-q` (verbosity gate).
     pub fn parse() -> Self {
-        let mut args = BenchArgs { full: false, injections: None, jobs: 1, out: None };
+        let mut args =
+            BenchArgs { full: false, quick: false, injections: None, jobs: 1, out: None };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => args.full = true,
+                "--quick" => args.quick = true,
                 "--injections" => {
                     args.injections = it.next().and_then(|v| v.parse().ok());
                 }

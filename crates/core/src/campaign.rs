@@ -107,6 +107,12 @@ where
                 let f = &f;
                 let next = &next;
                 s.spawn(move || {
+                    // Trial-level parallelism already owns the cores: pin
+                    // the intra-op kernel pool (GEMM row panels, chunked
+                    // quantise) to one thread per worker. Safe because
+                    // kernel results are bit-identical for every thread
+                    // count — this only avoids oversubscription.
+                    let _intra_op = tensor::parallel::with_threads(1);
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

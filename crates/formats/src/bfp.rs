@@ -140,28 +140,49 @@ impl NumberFormat for BlockFloatingPoint {
 
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
         let n = t.numel();
+        let src = t.as_slice();
         let nblocks = n.div_ceil(self.block_size);
-        let mut codes = Vec::with_capacity(nblocks);
-        let mut values = Vec::with_capacity(n);
-        for block in t.as_slice().chunks(self.block_size) {
-            let max_abs = block.iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()));
-            let code = self.code_for_block(max_abs);
-            codes.push(code);
-            let step = self.step_for_code(code);
-            for &x in block {
-                // `is_sign_negative` (not `< 0.0`) so a −0.0 element keeps
-                // its sign bit through the round trip (law `round-trip`),
-                // matching `FpParams::encode`. NaN has no magnitude in BFP:
-                // it quantises to (signed) zero, as in the scalar Method 3.
-                let sign = if x.is_sign_negative() { -1.0 } else { 1.0 };
-                let mag = if x.is_nan() {
-                    0.0
-                } else {
-                    round_ties_even((x as f64).abs() / step).min(self.mag_max() as f64)
-                };
-                values.push(f32_saturate(sign * mag * step));
+        // Effective block extent, clamped so per-tensor blocks
+        // (`block_size == usize::MAX`) don't overflow the index math.
+        let bs = self.block_size.min(n.max(1));
+        // A task covers a fixed run of *whole* blocks, so chunk boundaries
+        // align with shared-exponent blocks and the result is identical
+        // for every thread count.
+        let blocks_per_task = (crate::chunk::QUANT_CHUNK / bs).max(1);
+        let mut codes = vec![0u32; nblocks];
+        tensor::parallel::par_chunks_mut(&mut codes, blocks_per_task, |ci, chunk| {
+            let b0 = ci * blocks_per_task;
+            for (bj, slot) in chunk.iter_mut().enumerate() {
+                let start = (b0 + bj) * bs;
+                let end = (start + bs).min(n);
+                let max_abs = src[start..end].iter().fold(0.0f64, |m, &x| m.max((x as f64).abs()));
+                *slot = self.code_for_block(max_abs);
             }
-        }
+        });
+        let mut values = vec![0.0f32; n];
+        let codes_ref = &codes[..];
+        tensor::parallel::par_chunks_mut(&mut values, blocks_per_task * bs, |ci, out| {
+            let b0 = ci * blocks_per_task;
+            for (bj, block) in out.chunks_mut(bs).enumerate() {
+                let step = self.step_for_code(codes_ref[b0 + bj]);
+                let start = (b0 + bj) * bs;
+                for (j, v) in block.iter_mut().enumerate() {
+                    let x = src[start + j];
+                    // `is_sign_negative` (not `< 0.0`) so a −0.0 element
+                    // keeps its sign bit through the round trip (law
+                    // `round-trip`), matching `FpParams::encode`. NaN has
+                    // no magnitude in BFP: it quantises to (signed) zero,
+                    // as in the scalar Method 3.
+                    let sign = if x.is_sign_negative() { -1.0 } else { 1.0 };
+                    let mag = if x.is_nan() {
+                        0.0
+                    } else {
+                        round_ties_even((x as f64).abs() / step).min(self.mag_max() as f64)
+                    };
+                    *v = f32_saturate(sign * mag * step);
+                }
+            }
+        });
         Quantized {
             values: Tensor::from_vec(values, t.shape().clone()),
             meta: Metadata::SharedExponents {

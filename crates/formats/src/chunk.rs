@@ -1,0 +1,110 @@
+//! Chunk-parallel tensor quantisation.
+//!
+//! The paper's Method 1 (`real_to_format_tensor`) is the hottest format
+//! operation — every hooked layer output runs through it once per trial.
+//! Elementwise formats (FP, FxP, posit) and the code-mapping pass of INT
+//! are embarrassingly parallel, so they dispatch fixed-size chunks to the
+//! intra-op worker pool ([`tensor::parallel`]).
+//!
+//! Chunk boundaries are a pure function of the tensor length (never the
+//! thread count), every element is written by exactly one task, and
+//! reductions fold per-chunk partials in chunk order — so quantised
+//! outputs are **byte-identical** for every `--jobs` / thread-budget
+//! setting. `tests/kernels.rs` pins this across 1/2/8 threads.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use tensor::{parallel, Tensor};
+
+/// Elements per parallel work unit. Fixed — never derived from the thread
+/// count — which is what makes chunked output thread-count invariant.
+pub(crate) const QUANT_CHUNK: usize = 4096;
+
+struct QuantMetrics {
+    ns: &'static trace::Metric,
+    elems: &'static trace::Metric,
+}
+
+fn quant_metrics() -> &'static QuantMetrics {
+    static METRICS: OnceLock<QuantMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| QuantMetrics {
+        ns: trace::histogram("formats.quantize.chunked_ns"),
+        elems: trace::counter("formats.quantize.chunked_elems"),
+    })
+}
+
+/// Applies `f` elementwise over fixed [`QUANT_CHUNK`]-sized chunks on the
+/// worker pool; the drop-in parallel replacement for `t.map(f)` in
+/// `real_to_format_tensor` implementations.
+pub(crate) fn map_chunked(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let timing = trace::recording();
+    let t0 = timing.then(Instant::now);
+    let src = t.as_slice();
+    let mut out = vec![0.0f32; src.len()];
+    parallel::par_chunks_mut(&mut out, QUANT_CHUNK, |i, chunk| {
+        let base = i * QUANT_CHUNK;
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = f(src[base + j]);
+        }
+    });
+    if let Some(t0) = t0 {
+        let metrics = quant_metrics();
+        metrics.ns.record(t0.elapsed().as_nanos() as u64);
+        metrics.elems.add(src.len() as u64);
+    }
+    Tensor::from_vec(out, t.shape().clone())
+}
+
+/// Chunk-parallel `max |x|` reduction, bit-identical to
+/// `Tensor::max_abs`: each chunk folds `m.max(x.abs())` from 0.0 exactly
+/// like the serial fold, and the per-chunk partials are folded in chunk
+/// order. `f32::max` is exact, so regrouping cannot change the result
+/// (NaN elements are ignored by both paths, as `m.max(NaN) == m`).
+pub(crate) fn max_abs_chunked(t: &Tensor) -> f32 {
+    let src = t.as_slice();
+    let tasks = src.len().div_ceil(QUANT_CHUNK).max(1);
+    let mut partials = vec![0.0f32; tasks];
+    parallel::par_chunks_mut(&mut partials, 1, |i, slot| {
+        let start = i * QUANT_CHUNK;
+        let end = (start + QUANT_CHUNK).min(src.len());
+        slot[0] = src[start..end].iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    });
+    partials.iter().fold(0.0f32, |m, &p| m.max(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::parallel::with_threads;
+
+    fn ramp(n: usize) -> Tensor {
+        Tensor::from_vec((0..n).map(|i| (i as f32) * 0.37 - 900.0).collect(), [n])
+    }
+
+    #[test]
+    fn map_chunked_matches_map_across_thread_counts() {
+        let t = ramp(10_001);
+        let f = |x: f32| (x * 0.5).floor();
+        let serial = t.map(f);
+        for threads in [1, 2, 8] {
+            let _g = with_threads(threads);
+            let par = map_chunked(&t, f);
+            assert_eq!(par.dims(), serial.dims());
+            for (a, b) in par.as_slice().iter().zip(serial.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_chunked_matches_serial() {
+        for n in [0, 1, 5, 4096, 4097, 20_000] {
+            let t = ramp(n);
+            let _g = with_threads(4);
+            assert_eq!(max_abs_chunked(&t).to_bits(), t.max_abs().to_bits(), "n={n}");
+        }
+        let t = Tensor::from_vec(vec![1.0, f32::NAN, -3.0], [3]);
+        assert_eq!(max_abs_chunked(&t), 3.0);
+    }
+}

@@ -144,7 +144,15 @@ pub fn flip_value_bit(format: &dyn NumberFormat, q: &Quantized, element: usize, 
     let v = q.values.as_slice()[element];
     let bits = format.real_to_format(v, &q.meta, element);
     assert!(bit < bits.len(), "bit {} out of range for {}-bit format", bit, bits.len());
-    format.format_to_real(&bits.with_flip(bit), &q.meta, element)
+    let flipped = bits.with_flip(bit);
+    // Metadata-free narrow formats decode flipped codes through the cached
+    // LUT (validated code-for-code by the conformance law `lut-agreement`).
+    if q.meta == Metadata::None {
+        if let Some(lut) = crate::lut::cached(format) {
+            return lut.decode(flipped.to_u64());
+        }
+    }
+    format.format_to_real(&flipped, &q.meta, element)
 }
 
 #[cfg(test)]

@@ -364,7 +364,7 @@ impl NumberFormat for FloatingPoint {
     }
 
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
-        let values = t.map(|x| self.params.quantize_f32(x));
+        let values = crate::chunk::map_chunked(t, |x| self.params.quantize_f32(x));
         Quantized { values, meta: Metadata::None }
     }
 

@@ -92,7 +92,8 @@ impl NumberFormat for FixedPoint {
     }
 
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
-        Quantized { values: t.map(|x| self.quantize_scalar(x)), meta: Metadata::None }
+        let values = crate::chunk::map_chunked(t, |x| self.quantize_scalar(x));
+        Quantized { values, meta: Metadata::None }
     }
 
     fn real_to_format(&self, value: f32, _meta: &Metadata, _index: usize) -> Bitstring {

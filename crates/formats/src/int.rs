@@ -95,8 +95,13 @@ impl NumberFormat for IntQuant {
     }
 
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
-        let scale = self.scale_for(t);
-        let values = t.map(|x| (self.code_of(x, scale) as f64 * scale as f64) as f32);
+        // Chunked max reduction (bit-identical to `scale_for`: f32 max is
+        // exact, so regrouping cannot change it), then a chunked map with
+        // the scale fixed.
+        let m = crate::chunk::max_abs_chunked(t);
+        let scale = if m == 0.0 { 1.0 } else { m / self.qmax() as f32 };
+        let values =
+            crate::chunk::map_chunked(t, |x| (self.code_of(x, scale) as f64 * scale as f64) as f32);
         Quantized { values, meta: Metadata::Scale(scale) }
     }
 

@@ -39,11 +39,13 @@
 mod afp;
 mod bfp;
 mod bitstring;
+mod chunk;
 pub mod footprint;
 mod format;
 mod fp;
 mod fxp;
 mod int;
+pub mod lut;
 mod metadata;
 mod posit;
 pub mod ranges;

@@ -1,0 +1,154 @@
+//! Dequantisation lookup tables for narrow metadata-free formats.
+//!
+//! For a format whose code space is ≤ [`MAX_LUT_WIDTH`] bits and whose
+//! decode (Method 4) depends on nothing but the code — FP, FxP, posit; not
+//! INT/BFP/AFP, whose decode reads a register — the entire
+//! `format_to_real` map fits in a table of `2^width` f32 entries (≤ 256
+//! KiB). The error-injection hot path (encode → flip → decode, run once
+//! per trial per campaign) then decodes flipped codes with one indexed
+//! load instead of a `Bitstring` field walk — for posits, this replaces a
+//! code-table search entirely.
+//!
+//! Tables are built once per format (keyed by [`NumberFormat::name`],
+//! which encodes every parameter) and shared process-wide. The
+//! conformance oracle validates every entry bitwise against the direct
+//! Method 4 decode (law `lut-agreement`), so the fast path cannot drift
+//! silently.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::bitstring::Bitstring;
+use crate::format::NumberFormat;
+use crate::metadata::Metadata;
+use tensor::Tensor;
+
+/// Widest code space a LUT is built for: 2^16 entries × 4 B = 256 KiB.
+pub const MAX_LUT_WIDTH: u32 = 16;
+
+/// A fully materialised `code → f32` decode table for one format.
+#[derive(Debug, Clone)]
+pub struct DequantLut {
+    width: usize,
+    table: Vec<f32>,
+}
+
+impl DequantLut {
+    /// Builds the table by decoding every code through Method 4, or
+    /// returns `None` when the format is ineligible: wider than
+    /// [`MAX_LUT_WIDTH`], or carrying tensor-level metadata (probed by
+    /// quantising a sample tensor — a register-bearing decode cannot be
+    /// tabulated per code).
+    pub fn build(format: &dyn NumberFormat) -> Option<DequantLut> {
+        let width = format.bit_width();
+        if width > MAX_LUT_WIDTH {
+            return None;
+        }
+        let probe = format.real_to_format_tensor(&Tensor::from_vec(vec![0.5, -1.0], [2]));
+        if probe.meta != Metadata::None {
+            return None;
+        }
+        let width = width as usize;
+        let table = (0..1u64 << width)
+            .map(|code| {
+                format.format_to_real(&Bitstring::from_u64(code, width), &Metadata::None, 0)
+            })
+            .collect();
+        Some(DequantLut { width, table })
+    }
+
+    /// Code width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of entries (`2^width`).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Decodes `code` (the integer image of the format's bitstring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 2^width`.
+    #[inline]
+    pub fn decode(&self, code: u64) -> f32 {
+        self.table[code as usize]
+    }
+
+    /// The raw table, for exhaustive validation by the conformance oracle.
+    pub fn table(&self) -> &[f32] {
+        &self.table
+    }
+}
+
+/// Returns the process-wide cached LUT for `format`, building it on first
+/// use; `None` when the format is ineligible (cached too, so the probe
+/// runs once per format name).
+pub fn cached(format: &dyn NumberFormat) -> Option<Arc<DequantLut>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Option<Arc<DequantLut>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let name = format.name();
+    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(entry) = map.get(&name) {
+        return entry.clone();
+    }
+    let built = DequantLut::build(format).map(Arc::new);
+    if built.is_some() {
+        trace::counter("formats.lut.builds").add(1);
+    }
+    map.insert(name, built.clone());
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FixedPoint, FloatingPoint, IntQuant, Posit};
+
+    #[test]
+    fn lut_matches_direct_decode_for_fp8() {
+        let fp = FloatingPoint::fp8_e4m3();
+        let lut = DequantLut::build(&fp).expect("fp8 is eligible");
+        assert_eq!(lut.len(), 256);
+        for code in 0..256u64 {
+            let direct = fp.format_to_real(&Bitstring::from_u64(code, 8), &Metadata::None, 0);
+            let fast = lut.decode(code);
+            assert!(
+                direct.to_bits() == fast.to_bits() || (direct.is_nan() && fast.is_nan()),
+                "code {code:#x}: direct {direct} vs lut {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_covers_posit_and_fxp() {
+        assert!(DequantLut::build(&Posit::new(8, 0)).is_some());
+        assert!(DequantLut::build(&FixedPoint::new(3, 4)).is_some());
+    }
+
+    #[test]
+    fn metadata_formats_are_rejected() {
+        assert!(DequantLut::build(&IntQuant::new(8)).is_none(), "INT decode reads a register");
+    }
+
+    #[test]
+    fn wide_formats_are_rejected() {
+        assert!(DequantLut::build(&FloatingPoint::fp32()).is_none());
+    }
+
+    #[test]
+    fn cache_returns_same_table() {
+        let fp = FloatingPoint::fp8_e5m2();
+        let a = cached(&fp).expect("eligible");
+        let b = cached(&fp).expect("eligible");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cached(&IntQuant::new(16)).is_none());
+    }
+}

@@ -183,7 +183,10 @@ impl NumberFormat for Posit {
     }
 
     fn real_to_format_tensor(&self, t: &Tensor) -> Quantized {
-        Quantized { values: t.map(|x| self.quantize_scalar(x)), meta: Metadata::None }
+        // Posit quantisation is a per-element search over the code table —
+        // the slowest Method 1 in the zoo and the biggest chunking win.
+        let values = crate::chunk::map_chunked(t, |x| self.quantize_scalar(x));
+        Quantized { values, meta: Metadata::None }
     }
 
     fn real_to_format(&self, value: f32, _meta: &Metadata, _index: usize) -> Bitstring {

@@ -45,9 +45,25 @@ pub fn flip_value(
     let old = q.values.as_slice()[element];
     let bits = format.real_to_format(old, &q.meta, element);
     assert!(bit < bits.len(), "bit {bit} out of range for {}-bit values", bits.len());
-    let new = format.format_to_real(&bits.with_flip(bit), &q.meta, element);
+    let new = decode(format, q, bits.with_flip(bit), element);
     q.values.as_mut_slice()[element] = new;
     ValueFlip { element, bit, old, new }
+}
+
+/// Decodes a (corrupted) bit image: the cached dequantise LUT when the
+/// format is metadata-free and narrow, the direct Method 4 otherwise.
+fn decode(
+    format: &dyn NumberFormat,
+    q: &Quantized,
+    bits: formats::Bitstring,
+    element: usize,
+) -> f32 {
+    if q.meta == Metadata::None {
+        if let Some(lut) = formats::lut::cached(format) {
+            return lut.decode(bits.to_u64());
+        }
+    }
+    format.format_to_real(&bits, &q.meta, element)
 }
 
 /// Flips several bits of one data value in-place (multi-bit upset).
@@ -67,7 +83,7 @@ pub fn flip_value_multi(
     for &b in bits_to_flip {
         bits.flip(b);
     }
-    let new = format.format_to_real(&bits, &q.meta, element);
+    let new = decode(format, q, bits, element);
     q.values.as_mut_slice()[element] = new;
     ValueFlip { element, bit: bits_to_flip.first().copied().unwrap_or(0), old, new }
 }

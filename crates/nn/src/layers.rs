@@ -551,4 +551,26 @@ mod tests {
         let y = MaxPool2d::new("mp", 2, 2).forward(&x, &mut ctx);
         assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
     }
+
+    #[test]
+    fn conv_forward_reuses_im2col_workspace() {
+        // Repeated Conv2d forwards on one thread must serve their im2col
+        // scratch from the workspace pool instead of reallocating — the
+        // inference-loop guarantee the campaign executor relies on.
+        let _serial = tensor::parallel::with_threads(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new("c", 2, 4, 3, 1, 1, true, &mut rng);
+        let run = |conv: &Conv2d| {
+            let mut ctx = Ctx::inference();
+            let x = ctx.input(Tensor::ones([1, 2, 8, 8]));
+            conv.forward(&x, &mut ctx)
+        };
+        let first = run(&conv);
+        tensor::workspace::stats::reset();
+        let second = run(&conv);
+        let (hits, misses) = tensor::workspace::stats::snapshot();
+        assert_eq!(first.value(), second.value(), "forward must be deterministic");
+        assert!(hits > 0, "second forward allocated fresh scratch (hits=0, misses={misses})");
+        assert_eq!(misses, 0, "warm pool should serve every take ({misses} misses)");
+    }
 }

@@ -3,6 +3,7 @@
 
 use crate::linalg::sgemm;
 use crate::tensor::Tensor;
+use crate::workspace;
 
 /// Convolution geometry: square kernel, stride, and zero padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +109,10 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -
     }
     let (oh, ow) = (spec.out_dim(h), spec.out_dim(wd));
     let ckk = c * k * k;
-    let mut cols = vec![0.0f32; ckk * oh * ow];
+    // The im2col matrix is the dominant transient; borrow it from the
+    // thread-local pool so back-to-back forwards (the campaign hot loop)
+    // stop hitting the allocator.
+    let mut cols = workspace::take(ckk * oh * ow);
     let mut out = vec![0.0f32; n * o * oh * ow];
     for ni in 0..n {
         im2col(&x.as_slice()[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, spec, &mut cols);
@@ -146,11 +150,12 @@ pub fn conv2d_backward(
     let mut gx = vec![0.0f32; n * c * h * wd];
     let mut gw = vec![0.0f32; o * ckk];
     let mut gb = vec![0.0f32; o];
-    let mut cols = vec![0.0f32; ckk * oh * ow];
-    let mut col_grad = vec![0.0f32; ckk * oh * ow];
+    let mut cols = workspace::take(ckk * oh * ow);
+    let mut col_grad = workspace::take(ckk * oh * ow);
+    let mut colst = workspace::take(oh * ow * ckk);
 
     // Transposed weight [ckk, o] for the input-gradient GEMM.
-    let mut wt = vec![0.0f32; ckk * o];
+    let mut wt = workspace::take(ckk * o);
     for oi in 0..o {
         for r in 0..ckk {
             wt[r * o + oi] = w.as_slice()[oi * ckk + r];
@@ -162,7 +167,6 @@ pub fn conv2d_backward(
         // grad_w += grad_out_n [o, ohow] × cols^T  → accumulate via sgemm on
         // transposed cols: [o, ohow] × [ohow, ckk].
         im2col(&x.as_slice()[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, spec, &mut cols);
-        let mut colst = vec![0.0f32; oh * ow * ckk];
         for r in 0..ckk {
             for q in 0..oh * ow {
                 colst[q * ckk + r] = cols[r * oh * ow + q];

@@ -11,8 +11,13 @@
 //!
 //! - [`Tensor`]: contiguous row-major `f32` tensors with broadcasting
 //!   elementwise ops, reductions, and shape manipulation ([`ops`]);
-//! - [`linalg`]: blocked SGEMM and batched matmul;
+//! - [`linalg`]: packed-panel register-tiled SGEMM and batched matmul,
+//!   parallel over output row panels and bit-exact for every thread count;
 //! - [`conv`]: im2col convolution and pooling with explicit backward passes;
+//! - [`parallel`]: the intra-op scoped-thread worker pool and its
+//!   thread-budget controls ([`parallel::with_threads`]);
+//! - [`workspace`]: a thread-local scratch-buffer pool that lets the
+//!   kernels reuse im2col/packing buffers across calls;
 //! - [`autograd`]: a tape ([`Tape`]/[`Var`]) for reverse-mode
 //!   differentiation, including a straight-through-estimator hook
 //!   ([`Var::apply_ste`]) so quantisers can participate in training.
@@ -30,8 +35,10 @@ pub mod autograd;
 pub mod conv;
 pub mod linalg;
 pub mod ops;
+pub mod parallel;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use autograd::{GradStore, Tape, Var};
 pub use conv::Conv2dSpec;

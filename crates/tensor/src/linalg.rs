@@ -1,10 +1,57 @@
 //! Dense linear algebra kernels: 2-D and batched matrix multiplication.
 //!
-//! The inner kernel is a cache-blocked, register-tiled SGEMM written for the
-//! autovectoriser. It is nowhere near BLAS speed, but it is fast enough to
-//! run the paper's model-scale experiments on a CPU.
+//! The inner kernel is a **packed-panel, register-tiled SGEMM**: `b` is
+//! packed once into zero-padded [`NR`]-column panels, each [`MR`]-row
+//! panel of `a` is packed k-major, and an `MR×NR` register-accumulator
+//! micro-kernel walks the full `k` extent in one pass. Row panels are
+//! independent, so they are dispatched to the intra-op worker pool
+//! ([`crate::parallel`]); every output element is produced by exactly one
+//! task with a fixed accumulation order, which makes results **bit-exact**
+//! against [`matmul_naive`] and identical for every thread count. See
+//! DESIGN.md §10 for the blocking scheme and the determinism argument.
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
+use crate::workspace;
+
+/// Rows per packed `a` panel (register-tile height).
+const MR: usize = 4;
+/// Columns per packed `b` panel (register-tile width; 16 lanes → one
+/// 512-bit register per accumulator row on AVX-512, two 256-bit on AVX2).
+const NR: usize = 16;
+/// Below this many flops (`2·m·k·n`) the panel loop stays on one thread —
+/// spawn overhead beats the win on small problems.
+const PAR_FLOP_THRESHOLD: usize = 1 << 21;
+
+/// Benchmark-only escape hatch: when set, [`sgemm`] (and everything built
+/// on it: `matmul`, conv2d) routes through the legacy axpy kernel so
+/// `campaign_scaling` can measure end-to-end before/after throughput in
+/// one process. Never enable outside benchmarks — the legacy kernel keeps
+/// the historical zero-skip that drops NaN/Inf propagation.
+static LEGACY_KERNEL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[doc(hidden)]
+pub fn set_legacy_kernel(on: bool) {
+    LEGACY_KERNEL.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+struct GemmMetrics {
+    pack_ns: &'static trace::Metric,
+    kernel_ns: &'static trace::Metric,
+    flops: &'static trace::Metric,
+}
+
+fn gemm_metrics() -> &'static GemmMetrics {
+    static METRICS: OnceLock<GemmMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| GemmMetrics {
+        pack_ns: trace::histogram("tensor.gemm.pack_ns"),
+        kernel_ns: trace::histogram("tensor.gemm.kernel_ns"),
+        flops: trace::counter("tensor.gemm.flops"),
+    })
+}
 
 /// Multiplies two matrices: `[m, k] × [k, n] → [m, n]`.
 ///
@@ -33,6 +80,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Batched matrix multiply: `[b, m, k] × [b, k, n] → [b, m, n]`.
 ///
+/// Every `(batch, row-panel)` pair is an independent task on the shared
+/// worker pool, so large batches of small matrices parallelise as well as
+/// one large matrix; per-batch results are bit-identical to per-batch
+/// [`matmul`] calls.
+///
 /// # Panics
 ///
 /// Panics if operands are not 3-D or batch/inner dimensions disagree.
@@ -44,27 +96,189 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "bmm batch dims: {:?} × {:?}", a.shape(), b.shape());
     assert_eq!(k, k2, "bmm inner dims: {:?} × {:?}", a.shape(), b.shape());
     let mut out = vec![0.0f32; ba * m * n];
-    for i in 0..ba {
-        sgemm(
-            m,
+    if ba == 0 || m == 0 || n == 0 {
+        return Tensor::from_vec(out, [ba, m, n]);
+    }
+
+    let timing = trace::recording();
+    let t0 = timing.then(Instant::now);
+    let npanels = n.div_ceil(NR);
+    let mpanels = m.div_ceil(MR);
+    let panel_len = k * NR;
+    let mut bpack = workspace::take(ba * npanels * panel_len);
+    for bi in 0..ba {
+        pack_b(
             k,
             n,
-            &a.as_slice()[i * m * k..(i + 1) * m * k],
-            &b.as_slice()[i * k * n..(i + 1) * k * n],
-            &mut out[i * m * n..(i + 1) * m * n],
+            &b.as_slice()[bi * k * n..(bi + 1) * k * n],
+            &mut bpack[bi * npanels * panel_len..(bi + 1) * npanels * panel_len],
         );
+    }
+    if let Some(t0) = t0 {
+        gemm_metrics().pack_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    let t1 = timing.then(Instant::now);
+    let flops = 2usize.saturating_mul(ba).saturating_mul(m * k * n);
+    let _serial = (flops < PAR_FLOP_THRESHOLD).then(|| parallel::with_threads(1));
+    let base = SendPtr(out.as_mut_ptr());
+    let (a_all, bpack_all) = (a.as_slice(), &bpack[..]);
+    parallel::parallel_for(ba * mpanels, |t| {
+        let (bi, pi) = (t / mpanels, t % mpanels);
+        let i0 = pi * MR;
+        let rows = MR.min(m - i0);
+        let mut apack = workspace::take(k * MR);
+        pack_a(k, &a_all[bi * m * k..(bi + 1) * m * k], i0, rows, &mut apack);
+        // SAFETY: task t owns exactly rows `i0..i0+rows` of batch `bi`;
+        // the (bi, pi) → task mapping is a bijection, so regions are
+        // disjoint, and `out` outlives the thread scope.
+        let orow = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(bi * m * n + i0 * n), rows * n)
+        };
+        row_panel(k, n, rows, &apack, &bpack_all[bi * npanels * panel_len..], orow);
+    });
+    if let Some(t1) = t1 {
+        let metrics = gemm_metrics();
+        metrics.kernel_ns.record(t1.elapsed().as_nanos() as u64);
+        metrics.flops.add(flops as u64);
     }
     Tensor::from_vec(out, [ba, m, n])
 }
 
 /// `out += a × b` for row-major `a: m×k`, `b: k×n`, `out: m×n`.
 ///
-/// Blocked over k to keep panels of `b` hot in cache; the innermost loop is
-/// a simple `axpy` over a row of `b`, which autovectorises well.
+/// Packed-panel register-tiled kernel, parallel over `MR`-row output
+/// panels. Per output element the accumulation chain is
+/// `out[i,j] + a[i,0]·b[0,j] + a[i,1]·b[1,j] + …` in `k` order — exactly
+/// the naive order — so the result is bit-identical to [`matmul_naive`]
+/// (on a zeroed `out`) and to itself under any thread count.
 pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if LEGACY_KERNEL.load(std::sync::atomic::Ordering::Relaxed) {
+        return sgemm_axpy(m, k, n, a, b, out);
+    }
+
+    let timing = trace::recording();
+    let t0 = timing.then(Instant::now);
+    let npanels = n.div_ceil(NR);
+    let mut bpack = workspace::take(npanels * k * NR);
+    pack_b(k, n, b, &mut bpack);
+    if let Some(t0) = t0 {
+        gemm_metrics().pack_ns.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    let t1 = timing.then(Instant::now);
+    let mpanels = m.div_ceil(MR);
+    let flops = 2usize.saturating_mul(m).saturating_mul(k * n);
+    let _serial = (flops < PAR_FLOP_THRESHOLD).then(|| parallel::with_threads(1));
+    let base = SendPtr(out.as_mut_ptr());
+    let bpack_ref = &bpack[..];
+    parallel::parallel_for(mpanels, |pi| {
+        let i0 = pi * MR;
+        let rows = MR.min(m - i0);
+        let mut apack = workspace::take(k * MR);
+        pack_a(k, a, i0, rows, &mut apack);
+        // SAFETY: panel pi owns exactly output rows `i0..i0+rows`; panels
+        // partition `0..m` disjointly and `out` outlives the thread scope.
+        let orow = unsafe { std::slice::from_raw_parts_mut(base.get().add(i0 * n), rows * n) };
+        row_panel(k, n, rows, &apack, bpack_ref, orow);
+    });
+    if let Some(t1) = t1 {
+        let metrics = gemm_metrics();
+        metrics.kernel_ns.record(t1.elapsed().as_nanos() as u64);
+        metrics.flops.add(flops as u64);
+    }
+}
+
+/// Packs `b: k×n` into `⌈n/NR⌉` contiguous k-major panels:
+/// `dst[(panel·k + kk)·NR + c] = b[kk, panel·NR + c]`, zero-padding the
+/// ragged last panel so the micro-kernel never branches on width.
+fn pack_b(k: usize, n: usize, b: &[f32], dst: &mut [f32]) {
+    let npanels = n.div_ceil(NR);
+    for pj in 0..npanels {
+        let j0 = pj * NR;
+        let cols = NR.min(n - j0);
+        let panel = &mut dst[pj * k * NR..(pj + 1) * k * NR];
+        for kk in 0..k {
+            let src = &b[kk * n + j0..kk * n + j0 + cols];
+            panel[kk * NR..kk * NR + cols].copy_from_slice(src);
+            // Padding lanes stay zero: `workspace::take` hands out zeroed
+            // buffers, and padded products are never stored back.
+        }
+    }
+}
+
+/// Packs rows `i0..i0+rows` of `a: ?×k` k-major:
+/// `dst[kk·MR + r] = a[i0 + r, kk]`, zero-padding rows past `rows`.
+fn pack_a(k: usize, a: &[f32], i0: usize, rows: usize, dst: &mut [f32]) {
+    for r in 0..rows {
+        let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        for (kk, &v) in arow.iter().enumerate() {
+            dst[kk * MR + r] = v;
+        }
+    }
+    if rows < MR {
+        for kk in 0..k {
+            for r in rows..MR {
+                dst[kk * MR + r] = 0.0;
+            }
+        }
+    }
+}
+
+/// `orow += apack × bpack` for one packed `rows×k` row panel against every
+/// packed column panel of one matrix (`orow` has row stride `n`).
+fn row_panel(k: usize, n: usize, rows: usize, apack: &[f32], bpack: &[f32], orow: &mut [f32]) {
+    let npanels = n.div_ceil(NR);
+    for pj in 0..npanels {
+        let j0 = pj * NR;
+        let cols = NR.min(n - j0);
+        let bpanel = &bpack[pj * k * NR..(pj + 1) * k * NR];
+        // Seed the register tile with the existing output (`+=`
+        // semantics; 0.0 on matmul's freshly zeroed buffer, matching the
+        // naive accumulator's starting value bit-for-bit). Padded lanes
+        // seed 0.0 and may accumulate garbage (0·Inf = NaN) but are never
+        // stored back.
+        let mut acc = [[0.0f32; NR]; MR];
+        for r in 0..rows {
+            acc[r][..cols].copy_from_slice(&orow[r * n + j0..r * n + j0 + cols]);
+        }
+        kernel(k, apack, bpanel, &mut acc);
+        for r in 0..rows {
+            orow[r * n + j0..r * n + j0 + cols].copy_from_slice(&acc[r][..cols]);
+        }
+    }
+}
+
+/// The `MR×NR` register-tile micro-kernel: one pass over the full `k`
+/// extent, accumulating `acc[r][c] += apack[kk,r]·bpack[kk,c]` for each
+/// `kk` in order. The fixed-size tile lets the autovectoriser keep `acc`
+/// in SIMD registers; there is no k-blocking, so each element's
+/// accumulation chain is a single in-order sum (the determinism anchor).
+#[inline]
+fn kernel(k: usize, apack: &[f32], bpack: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for kk in 0..k {
+        let av: &[f32; MR] = apack[kk * MR..kk * MR + MR].try_into().unwrap();
+        let bv: &[f32; NR] = bpack[kk * NR..kk * NR + NR].try_into().unwrap();
+        for r in 0..MR {
+            let ar = av[r];
+            for c in 0..NR {
+                acc[r][c] += ar * bv[c];
+            }
+        }
+    }
+}
+
+/// The pre-rewrite k-blocked axpy kernel, retained **only** as the
+/// `gemm_bench` baseline (including its historical zero-skip, which drops
+/// NaN/Inf propagation — do not use for real computation).
+#[doc(hidden)]
+pub fn sgemm_axpy(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     const KB: usize = 64;
     for k0 in (0..k).step_by(KB) {
         let kmax = (k0 + KB).min(k);
@@ -105,8 +319,16 @@ pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parallel::with_threads;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, ctx: &str) {
+        assert_eq!(a.dims(), b.dims(), "{ctx}: shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: bit mismatch at {i}: {x} vs {y}");
+        }
+    }
 
     #[test]
     fn matmul_identity() {
@@ -126,31 +348,112 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matches_naive_random() {
+    fn packed_bit_exact_vs_naive() {
         let mut rng = StdRng::seed_from_u64(42);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 33, 9), (64, 70, 65), (128, 100, 3)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (17, 33, 9),
+            (64, 70, 65),
+            (128, 100, 3),
+            (1, 64, 1),
+        ] {
             let a = Tensor::randn([m, k], &mut rng);
             let b = Tensor::randn([k, n], &mut rng);
-            let fast = matmul(&a, &b);
             let slow = matmul_naive(&a, &b);
-            assert!(fast.allclose(&slow, 1e-4), "mismatch at ({m},{k},{n})");
+            assert_bits_eq(&matmul(&a, &b), &slow, &format!("({m},{k},{n})"));
         }
     }
 
     #[test]
-    fn bmm_matches_per_batch_matmul() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let a = Tensor::randn([4, 5, 6], &mut rng);
-        let b = Tensor::randn([4, 6, 3], &mut rng);
-        let c = bmm(&a, &b);
-        assert_eq!(c.dims(), &[4, 5, 3]);
-        for i in 0..4 {
-            let ai = Tensor::from_vec(a.as_slice()[i * 30..(i + 1) * 30].to_vec(), [5, 6]);
-            let bi = Tensor::from_vec(b.as_slice()[i * 18..(i + 1) * 18].to_vec(), [6, 3]);
-            let ci = matmul(&ai, &bi);
-            let got = &c.as_slice()[i * 15..(i + 1) * 15];
-            assert!(Tensor::from_vec(got.to_vec(), [5, 3]).allclose(&ci, 1e-5));
+    fn matmul_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Tensor::randn([65, 40, 33], &mut rng).reshape([65 * 40, 33]);
+        let b = Tensor::randn([33, 29], &mut rng);
+        let serial = {
+            let _g = with_threads(1);
+            matmul(&a, &b)
+        };
+        for threads in [2, 4, 8] {
+            let _g = with_threads(threads);
+            assert_bits_eq(&matmul(&a, &b), &serial, &format!("{threads} threads"));
         }
+    }
+
+    /// The old kernel's `aik == 0.0` skip dropped `0 × Inf = NaN`; the
+    /// packed kernel must propagate it exactly like the naive reference.
+    #[test]
+    fn nan_inf_propagation_matches_naive() {
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], [2, 2]);
+        let b = Tensor::from_vec(vec![f32::INFINITY, 5.0, 6.0, f32::NEG_INFINITY], [2, 2]);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.as_slice()[0].is_nan(), "0·Inf must produce NaN, got {}", fast.as_slice()[0]);
+        assert_bits_eq(&fast, &slow, "nan-inf");
+        // NaN in a also survives a zero in the other operand.
+        let a2 = Tensor::from_vec(vec![f32::NAN, 0.0, 0.0, 1.0], [2, 2]);
+        let b2 = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], [2, 2]);
+        assert_bits_eq(&matmul(&a2, &b2), &matmul_naive(&a2, &b2), "nan-zero");
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        for &(m, k, n) in &[(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0), (1, 0, 1)] {
+            let a = Tensor::zeros([m, k]);
+            let b = Tensor::zeros([k, n]);
+            let c = matmul(&a, &b);
+            assert_eq!(c.dims(), &[m, n]);
+            assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn sgemm_accumulates_into_existing_output() {
+        // conv2d_backward relies on `out +=` across batches.
+        let a = Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2]);
+        let b = Tensor::from_vec(vec![1., 0., 0., 1.], [2, 2]);
+        let mut out = vec![10.0f32; 4];
+        sgemm(2, 2, 2, a.as_slice(), b.as_slice(), &mut out);
+        assert_eq!(out, [11., 12., 13., 14.]);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (ba, m, k, n) = (6, 13, 21, 10);
+        let a = Tensor::randn([ba, m, k], &mut rng);
+        let b = Tensor::randn([ba, k, n], &mut rng);
+        let serial = {
+            let _g = with_threads(1);
+            bmm(&a, &b)
+        };
+        assert_eq!(serial.dims(), &[ba, m, n]);
+        for i in 0..ba {
+            let ai = Tensor::from_vec(a.as_slice()[i * m * k..(i + 1) * m * k].to_vec(), [m, k]);
+            let bi = Tensor::from_vec(b.as_slice()[i * k * n..(i + 1) * k * n].to_vec(), [k, n]);
+            let ci = matmul(&ai, &bi);
+            let got =
+                Tensor::from_vec(serial.as_slice()[i * m * n..(i + 1) * m * n].to_vec(), [m, n]);
+            assert_bits_eq(&got, &ci, &format!("batch {i}"));
+        }
+        for threads in [2, 8] {
+            let _g = with_threads(threads);
+            assert_bits_eq(&bmm(&a, &b), &serial, &format!("bmm {threads} threads"));
+        }
+    }
+
+    #[test]
+    fn legacy_axpy_agrees_on_finite_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn([9, 14], &mut rng);
+        let b = Tensor::randn([14, 11], &mut rng);
+        let mut legacy = vec![0.0f32; 9 * 11];
+        sgemm_axpy(9, 14, 11, a.as_slice(), b.as_slice(), &mut legacy);
+        let packed = matmul(&a, &b);
+        let legacy = Tensor::from_vec(legacy, [9, 11]);
+        assert!(packed.allclose(&legacy, 1e-5));
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Intra-op worker threads for the compute kernels.
+//!
+//! The same scoped-thread design as the campaign executor in
+//! `goldeneye::campaign::run_trials` (PR 1), one level down the stack:
+//! workers pull task indices from a shared atomic counter inside a
+//! `std::thread::scope`, every task writes only its own pre-assigned
+//! output range, and the task→output mapping is fixed before any thread
+//! starts — so results are **bit-identical for every thread count**
+//! (including 1, which short-circuits to a plain loop with zero
+//! overhead).
+//!
+//! The thread budget is resolved per call site as:
+//!
+//! 1. the thread-local override installed by [`with_threads`] (used by
+//!    the campaign executor to pin intra-op parallelism to 1 inside its
+//!    own worker threads, avoiding oversubscription), else
+//! 2. the process-wide default set by [`set_max_threads`], else
+//! 3. `std::thread::available_parallelism()`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default thread budget; 0 = "ask the OS".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; `None` falls through to the global default.
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Sets the process-wide default intra-op thread budget (0 restores
+/// "all available cores").
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The thread budget kernels on the current thread will use.
+pub fn max_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// RAII guard restoring the previous thread-local budget on drop.
+#[derive(Debug)]
+pub struct ThreadsGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.prev));
+    }
+}
+
+/// Overrides the intra-op thread budget for the current thread until the
+/// returned guard drops. Results are bit-identical for every budget; the
+/// knob only trades latency for threads.
+#[must_use = "the override lasts only while the guard is alive"]
+pub fn with_threads(n: usize) -> ThreadsGuard {
+    let prev = OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    ThreadsGuard { prev }
+}
+
+/// Runs `tasks` independent closures, `f(task_index)`, on up to
+/// [`max_threads`] scoped workers (serial when the budget or task count
+/// is 1). Panics from any task are propagated after the scope joins.
+///
+/// `f` must confine its writes to state owned by its task index; under
+/// that contract the result is independent of the thread count.
+pub fn parallel_for<F>(tasks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = max_threads().min(tasks);
+    if workers <= 1 {
+        for i in 0..tasks {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks {
+                        break;
+                    }
+                    f(i);
+                })
+            })
+            .collect();
+        let mut panicked = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panicked = Some(payload);
+            }
+        }
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
+/// Splits `out` into fixed `chunk`-sized pieces and runs
+/// `f(chunk_index, chunk)` for each on the worker pool.
+///
+/// The chunking is a pure function of `out.len()` and `chunk` — never of
+/// the thread count — which is what makes chunk-parallel consumers
+/// (tensor quantisation, GEMM row panels) byte-identical across
+/// `--jobs` / thread-budget settings.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_chunks_mut<T, F>(out: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let tasks = out.len().div_ceil(chunk);
+    if tasks <= 1 || max_threads() <= 1 {
+        for (i, c) in out.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let len = out.len();
+    let base = SendPtr(out.as_mut_ptr());
+    parallel_for(tasks, |i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(len);
+        // SAFETY: task i touches exactly `start..end`; tasks partition
+        // `0..len` disjointly, and the scope in `parallel_for` outlives
+        // no borrow of `out`.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(i, slice);
+    });
+}
+
+/// A raw pointer that asserts cross-thread sendability; used only for
+/// provably disjoint writes (see [`par_chunks_mut`] and the GEMM row
+/// panels in `linalg`).
+pub(crate) struct SendPtr<T>(pub *mut T);
+// SAFETY: every user hands each task a disjoint region behind the pointer,
+// and T: Send bounds on the entry points keep non-sendable payloads out.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 disjoint capture would otherwise capture
+    /// the bare `*mut T`, which is not `Sync`.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_covers_every_task_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let _g = with_threads(4);
+        parallel_for(100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_is_thread_count_invariant() {
+        let f = |i: usize, c: &mut [f32]| {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 1000 + j) as f32;
+            }
+        };
+        let mut serial = vec![0.0f32; 1000];
+        {
+            let _g = with_threads(1);
+            par_chunks_mut(&mut serial, 64, f);
+        }
+        for n in [2, 3, 8] {
+            let mut par = vec![0.0f32; 1000];
+            let _g = with_threads(n);
+            par_chunks_mut(&mut par, 64, f);
+            assert_eq!(serial, par, "diverged at {n} threads");
+        }
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        let outer = max_threads();
+        {
+            let _a = with_threads(3);
+            assert_eq!(max_threads(), 3);
+            {
+                let _b = with_threads(7);
+                assert_eq!(max_threads(), 7);
+            }
+            assert_eq!(max_threads(), 3);
+        }
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn parallel_for_propagates_panics() {
+        let _g = with_threads(2);
+        let caught = std::panic::catch_unwind(|| {
+            parallel_for(10, |i| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+}
