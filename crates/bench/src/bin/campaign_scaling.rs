@@ -1,9 +1,12 @@
 //! Campaign-executor scaling: wall-clock of the same fault-injection
 //! campaign at 1, 2, 4, … worker threads, verifying both the speedup and
 //! the bit-identical-results contract of `goldeneye::run_campaign` /
-//! `run_weight_campaign` — plus the tracing-overhead budget: the same
-//! serial campaign with structured tracing on must stay within ~2% of
-//! the untraced wall-clock (DESIGN.md §9).
+//! `run_weight_campaign`; the batched checkpoint/replay engine vs. the
+//! per-trial engine (byte-identical canonical records asserted) and the
+//! early-stopping trial savings at equal statistical power (DESIGN.md
+//! §11) — plus the tracing-overhead budget: the same serial campaign with
+//! structured tracing on must stay within ~2% of the untraced wall-clock
+//! (DESIGN.md §9).
 //!
 //! Trials are independent inferences, so the campaign is embarrassingly
 //! parallel; the executor's only serial parts are layer discovery, the
@@ -73,8 +76,13 @@ fn main() {
         let mut reference: Option<(Vec<(f32, f32)>, f64)> = None;
         let mut jobs = 1usize;
         while jobs <= max_jobs {
-            let cfg =
-                CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 17, jobs };
+            let cfg = CampaignConfig {
+                injections_per_layer: n,
+                kind: SiteKind::Value,
+                seed: 17,
+                jobs,
+                ..Default::default()
+            };
             let t = Instant::now();
             let result = if weight {
                 run_weight_campaign(&ge, model.as_ref(), &x, &y, &cfg)
@@ -109,7 +117,13 @@ fn main() {
     // Kernel before/after: end-to-end trials/sec of the serial campaign
     // with the legacy axpy GEMM vs. the packed register-tiled kernel
     // (everything else — injection, quantise, statistics — identical).
-    let cfg = CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 17, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: n,
+        kind: SiteKind::Value,
+        seed: 17,
+        jobs: 1,
+        ..Default::default()
+    };
     let trials = run_campaign(&ge, model.as_ref(), &x, &y, &cfg).trials.len();
     // Interleave the repetitions (legacy, packed, legacy, packed, …) so a
     // noisy-neighbour slow phase on shared hardware cannot land entirely
@@ -128,11 +142,108 @@ fn main() {
         after_tps / before_tps
     );
 
+    // Batched checkpoint/replay vs. the per-trial engine: same campaign,
+    // same canonical per-trial records (asserted byte-identical), but
+    // trials packed N to a forward and replayed from the checkpoint
+    // preceding their injection layer. Reported as end-to-end trials/sec.
+    let base = CampaignConfig {
+        injections_per_layer: n,
+        kind: SiteKind::Value,
+        seed: 17,
+        jobs: 1,
+        ..Default::default()
+    };
+    let serial_result = run_campaign(&ge, model.as_ref(), &x, &y, &base);
+    let serial_jsonl = serial_result.canonical_trial_jsonl();
+    let unbatched_s = best_time(2, &ge, model.as_ref(), &x, &y, &base);
+    let unbatched_tps = trials as f64 / unbatched_s;
+    println!(
+        "\nBatched replay vs per-trial (serial, {trials} trials): per-trial \
+         {unbatched_tps:.2} trials/s"
+    );
+    let mut batch_rows: Vec<Json> = Vec::new();
+    let mut best_batched_tps = unbatched_tps;
+    for batch in [4usize, 8, 16, 32] {
+        let cfg = base.clone().with_trials_per_batch(batch);
+        let result = run_campaign(&ge, model.as_ref(), &x, &y, &cfg);
+        assert!(
+            result.canonical_trial_jsonl() == serial_jsonl,
+            "batch {batch} diverged from the per-trial baseline"
+        );
+        let secs = best_time(2, &ge, model.as_ref(), &x, &y, &cfg);
+        let tps = trials as f64 / secs;
+        best_batched_tps = best_batched_tps.max(tps);
+        println!(
+            "  batch {batch:>3}: {tps:>8.2} trials/s ({:.2}x, byte-identical records)",
+            tps / unbatched_tps
+        );
+        batch_rows.push(Json::obj([
+            ("trials_per_batch", Json::from(batch)),
+            ("seconds", Json::Num(secs)),
+            ("trials_per_sec", Json::Num(tps)),
+            ("speedup_vs_per_trial", Json::Num(tps / unbatched_tps)),
+        ]));
+    }
+
+    // Early stopping: trial savings at equal statistical power. Stopping
+    // decisions happen only at EARLY_STOP_WAVE boundaries (after >= 20
+    // trials), so the quick per-layer trial count is far too small for a
+    // site to ever stop; this section plans its own deeper campaign.
+    // Each site gets `es_n` trials; the CI target is what that full
+    // campaign achieves on its *worst* site, so the early-stopped run
+    // reaches the same per-site precision everywhere while skipping the
+    // trials that already-converged sites don't need. Batched throughput
+    // is per-trial-invariant, so the per-trial engine's trials/sec above
+    // is the fair baseline.
+    let es_n = (8 * goldeneye::EARLY_STOP_WAVE).max(n);
+    let es_base = CampaignConfig {
+        injections_per_layer: es_n,
+        kind: SiteKind::Value,
+        seed: 17,
+        jobs: 1,
+        ..Default::default()
+    }
+    .with_trials_per_batch(16);
+    let t = Instant::now();
+    let es_full = run_campaign(&ge, model.as_ref(), &x, &y, &es_base);
+    let es_full_secs = t.elapsed().as_secs_f64();
+    let target_ci = es_full
+        .layers
+        .iter()
+        .map(|l| l.delta_loss.ci95_half_width())
+        .fold(0.0f32, f32::max)
+        .max(1e-3);
+    let es_cfg = es_base.clone().with_early_stop(target_ci);
+    let t = Instant::now();
+    let es_result = run_campaign(&ge, model.as_ref(), &x, &y, &es_cfg);
+    let es_secs = t.elapsed().as_secs_f64();
+    let es_tps = es_result.trials.len() as f64 / es_secs;
+    // Effective throughput: planned statistical work per second — the
+    // paper-level metric for "same power, less compute".
+    let effective_tps = es_result.planned_trials as f64 / es_secs;
+    println!(
+        "Early stop @ CI {target_ci:.4} ({es_n} planned/site, full batched run \
+         {es_full_secs:.1}s): {} of {} trials ({:.0}% saved), \
+         {:.2} executed trials/s, {:.2} effective trials/s ({:.1}x per-trial engine)",
+        es_result.trials.len(),
+        es_result.planned_trials,
+        es_result.early_stop_savings() * 100.0,
+        es_tps,
+        effective_tps,
+        effective_tps / unbatched_tps
+    );
+
     // Tracing-overhead budget: the same serial campaign with the event
     // layer recording (ring-buffer sink, Info level) vs. off. Per-trial
     // cost with tracing off is one relaxed atomic load, so the overhead
     // target is <= 2% of wall-clock (best-of-3 to damp scheduler noise).
-    let cfg = CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 17, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: n,
+        kind: SiteKind::Value,
+        seed: 17,
+        jobs: 1,
+        ..Default::default()
+    };
     let off = best_time(3, &ge, model.as_ref(), &x, &y, &cfg);
     trace::capture_events(true);
     let on = best_time(3, &ge, model.as_ref(), &x, &y, &cfg);
@@ -156,6 +267,18 @@ fn main() {
         .with_extra("serial_trials", Json::from(trials))
         .with_extra("trials_per_sec_legacy_kernel", Json::Num(before_tps))
         .with_extra("trials_per_sec_packed_kernel", Json::Num(after_tps))
-        .with_extra("kernel_throughput_ratio", Json::Num(after_tps / before_tps));
+        .with_extra("kernel_throughput_ratio", Json::Num(after_tps / before_tps))
+        .with_extra("trials_per_sec_per_trial_engine", Json::Num(unbatched_tps))
+        .with_extra("batched_engine", Json::Arr(batch_rows))
+        .with_extra("best_batched_trials_per_sec", Json::Num(best_batched_tps))
+        .with_extra("batched_speedup", Json::Num(best_batched_tps / unbatched_tps))
+        .with_extra("early_stop_planned_per_site", Json::from(es_n))
+        .with_extra("early_stop_full_run_s", Json::Num(es_full_secs))
+        .with_extra("early_stop_ci_target", Json::Num(f64::from(target_ci)))
+        .with_extra("early_stop_savings", Json::Num(es_result.early_stop_savings()))
+        .with_extra("early_stop_executed_trials", Json::from(es_result.trials.len()))
+        .with_extra("early_stop_planned_trials", Json::from(es_result.planned_trials))
+        .with_extra("effective_trials_per_sec", Json::Num(effective_tps))
+        .with_extra("effective_speedup_vs_per_trial", Json::Num(effective_tps / unbatched_tps));
     args.finish_run(manifest, Some("BENCH_campaign.json"));
 }

@@ -141,8 +141,13 @@ fn main() {
         let (x, y) = test_set().head_batch(8);
         let ge = GoldenEye::parse("fp:e4m3").expect("valid spec");
         let n = args.injections_per_layer(10);
-        let mut cfg =
-            CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 3, jobs: 1 };
+        let mut cfg = CampaignConfig {
+            injections_per_layer: n,
+            kind: SiteKind::Value,
+            seed: 3,
+            jobs: 1,
+            ..Default::default()
+        };
         println!("\nCampaign throughput ({n} injections/layer, resnet18):");
         let t = Instant::now();
         run_campaign(&ge, model.as_ref(), &x, &y, &cfg);

@@ -43,6 +43,7 @@ fn main() {
                     kind: SiteKind::Value,
                     seed: 7,
                     jobs: 1,
+                    ..Default::default()
                 },
             );
             let meta = run_campaign(
@@ -55,6 +56,7 @@ fn main() {
                     kind: SiteKind::Metadata,
                     seed: 7,
                     jobs: 1,
+                    ..Default::default()
                 },
             );
             for (v, m) in value.layers.iter().zip(&meta.layers) {

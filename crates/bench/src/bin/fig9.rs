@@ -45,7 +45,13 @@ fn main() {
                 model.as_ref(),
                 &x,
                 &y,
-                &CampaignConfig { injections_per_layer: n, kind: SiteKind::Value, seed: 9, jobs },
+                &CampaignConfig {
+                    injections_per_layer: n,
+                    kind: SiteKind::Value,
+                    seed: 9,
+                    jobs,
+                    ..Default::default()
+                },
             );
             let meta = run_campaign(
                 &ge,
@@ -57,6 +63,7 @@ fn main() {
                     kind: SiteKind::Metadata,
                     seed: 9,
                     jobs,
+                    ..Default::default()
                 },
             );
             println!(

@@ -25,7 +25,7 @@
 
 use goldeneye::dse::{accuracy_eval, search, DseFamily};
 use goldeneye::{evaluate_accuracy_jobs, run_campaign, CampaignConfig, GoldenEye};
-use inject::SiteKind;
+use inject::{BitSampler, SiteKind};
 use models::{
     train, DeitConfig, ResNet, ResNetConfig, SyntheticDataset, TrainConfig, VisionTransformer,
 };
@@ -146,6 +146,11 @@ fn print_usage() {
                     [--jobs N]\n\
            campaign --model cnn|vit --spec <spec>  per-layer delta-loss injection campaign\n\
                     [--site value|metadata] [--injections N] [--jobs N]\n\
+                    [--trials-per-batch N]  trials packed per batched forward\n\
+                                            (default 0 = auto-size, 1 = per-trial)\n\
+                    [--early-stop CI]       stop a layer once its delta-loss 95% CI\n\
+                                            half-width falls to CI\n\
+                    [--sampler uniform|stratified]  bit-position sampling policy\n\
            dse --model cnn|vit --family <fam>      binary-tree format search\n\
                [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp\n\
            conformance [--all | <spec>...]         bit-exact format conformance oracle\n\
@@ -276,6 +281,25 @@ fn cmd_campaign(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     let site = flag(args, "--site").unwrap_or_else(|| "value".into());
     let injections = flag(args, "--injections").and_then(|n| n.parse().ok()).unwrap_or(20);
     let jobs = jobs_flag(args)?;
+    let trials_per_batch = match flag(args, "--trials-per-batch") {
+        None => 0, // auto-size from the workspace pool budget
+        Some(v) => v.parse().map_err(|_| format!("bad --trials-per-batch value `{v}`"))?,
+    };
+    let early_stop = match flag(args, "--early-stop") {
+        None => None,
+        Some(v) => {
+            let ci: f32 = v.parse().map_err(|_| format!("bad --early-stop value `{v}`"))?;
+            if ci.is_nan() || ci <= 0.0 {
+                return Err(format!("--early-stop needs a positive CI half-width, got `{v}`"));
+            }
+            Some(ci)
+        }
+    };
+    let sampler = match flag(args, "--sampler").as_deref() {
+        None | Some("uniform") => BitSampler::Uniform,
+        Some("stratified") => BitSampler::Stratified { critical_mass: 0.5 },
+        Some(other) => return Err(format!("unknown sampler `{other}` (uniform|stratified)")),
+    };
     let kind = match site.as_str() {
         "value" => SiteKind::Value,
         "metadata" => SiteKind::Metadata,
@@ -287,7 +311,15 @@ fn cmd_campaign(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     }
     let (model, data, _) = demo_model(&model_kind, 8)?;
     let (x, y) = data.head_batch(8);
-    let cfg = CampaignConfig { injections_per_layer: injections, kind, seed: 0, jobs };
+    let cfg = CampaignConfig {
+        injections_per_layer: injections,
+        kind,
+        seed: 0,
+        jobs,
+        trials_per_batch,
+        early_stop,
+        sampler,
+    };
     let t0 = Instant::now();
     let result = run_campaign(&ge, model.as_ref(), &x, &y, &cfg);
     let wall = t0.elapsed().as_secs_f64();
@@ -297,11 +329,19 @@ fn cmd_campaign(args: &[String], global: &GlobalFlags) -> Result<(), String> {
             "{:<6} {:<18} {:>12.4} {:>11.1}%",
             l.layer,
             l.name,
-            l.delta_loss.mean(),
+            l.delta_loss_mean(),
             l.mismatch.mean() * 100.0
         );
     }
     outln!("\navg delta-loss across layers: {:.4}", result.avg_delta_loss());
+    if result.early_stop_savings() > 0.0 {
+        outln!(
+            "early stopping skipped {} of {} planned trials ({:.0}%)",
+            result.planned_trials - result.trials.len(),
+            result.planned_trials,
+            result.early_stop_savings() * 100.0
+        );
+    }
     let mut m = result.to_manifest("goldeneye campaign", &cfg, wall);
     m.config.push(("model".to_string(), trace::Json::from(model_kind.as_str())));
     global.finish(m)

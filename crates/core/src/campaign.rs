@@ -9,8 +9,8 @@
 //! between serial and parallel runs (see `TrialRecord::canonical_line`).
 
 use crate::instrument::{GoldenEye, InjectionPlan, InjectionRecord};
-use inject::SiteKind;
-use metrics::{compare_outcomes, ConvergenceTrace, RunningStats};
+use inject::{BitSampler, BitStrata, SiteKind};
+use metrics::{compare_outcomes, ConvergenceTrace, EarlyStop, RunningStats, StratifiedStats};
 use nn::Module;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -22,6 +22,12 @@ fn trials_counter() -> &'static trace::Metric {
     static C: OnceLock<&'static trace::Metric> = OnceLock::new();
     C.get_or_init(|| trace::counter("campaign.trials"))
 }
+
+/// Early-stopping decisions are taken only at multiples of this many
+/// completed trials per injection site, in canonical trial order — so the
+/// set of executed trials is a function of the statistics alone, never of
+/// `trials_per_batch` or `jobs`. Batches are clipped to wave boundaries.
+pub const EARLY_STOP_WAVE: usize = 32;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -38,11 +44,36 @@ pub struct CampaignConfig {
     /// runs `N` scoped threads, `0` uses the machine's available
     /// parallelism. Results are **bit-identical** for every value.
     pub jobs: usize,
+    /// Trials packed into one batched forward: `1` re-runs the whole
+    /// network per trial (the classic per-trial engine), `N > 1` replays
+    /// batches of `N` trials from the checkpoint preceding the injection
+    /// layer, and `0` auto-sizes the batch from the kernel workspace
+    /// pool's budget. Trial records are **bit-identical** for every
+    /// value — batching changes only the execution schedule.
+    pub trials_per_batch: usize,
+    /// When set, stop injecting into a site once the 95% confidence
+    /// interval of its ΔLoss mean has half-width ≤ this (checked every
+    /// [`EARLY_STOP_WAVE`] trials, after at least
+    /// [`metrics::EarlyStop`]'s minimum trial count).
+    pub early_stop: Option<f32>,
+    /// Bit-position sampling policy for value faults.
+    /// [`BitSampler::Uniform`] reproduces the historical uniform draws;
+    /// [`BitSampler::Stratified`] oversamples the exponent-bit stratum
+    /// and reweights the statistics ([`metrics::StratifiedStats`]).
+    pub sampler: BitSampler,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { injections_per_layer: 100, kind: SiteKind::Value, seed: 0, jobs: 1 }
+        CampaignConfig {
+            injections_per_layer: 100,
+            kind: SiteKind::Value,
+            seed: 0,
+            jobs: 1,
+            trials_per_batch: 1,
+            early_stop: None,
+            sampler: BitSampler::Uniform,
+        }
     }
 }
 
@@ -52,6 +83,40 @@ impl CampaignConfig {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
         self
+    }
+
+    /// Returns the config with `n` trials per batched forward
+    /// (`0` = auto-size, `1` = per-trial).
+    #[must_use]
+    pub fn with_trials_per_batch(mut self, n: usize) -> Self {
+        self.trials_per_batch = n;
+        self
+    }
+
+    /// Returns the config with per-site ΔLoss early stopping at the given
+    /// 95% CI half-width.
+    #[must_use]
+    pub fn with_early_stop(mut self, ci_half_width: f32) -> Self {
+        self.early_stop = Some(ci_half_width);
+        self
+    }
+
+    /// Returns the config with the given bit-position sampling policy.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: BitSampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Resolves `trials_per_batch` for an input of `x_numel` elements:
+    /// `0` auto-sizes so the batched activations stay within the kernel
+    /// workspace pool's per-buffer budget (assuming activations peak
+    /// around an order of magnitude over the input), clamped to `2..=32`.
+    pub fn effective_batch(&self, x_numel: usize) -> usize {
+        match self.trials_per_batch {
+            0 => (tensor::workspace::pooled_budget_elems() / (x_numel.max(1) * 9)).clamp(2, 32),
+            n => n,
+        }
     }
 }
 
@@ -155,6 +220,19 @@ pub struct LayerResult {
     pub mismatch: RunningStats,
     /// Number of injections that actually fired.
     pub injections: usize,
+    /// Population-reweighted ΔLoss statistics when the campaign sampled
+    /// bit positions with [`BitSampler::Stratified`] (`None` under
+    /// uniform sampling): the unbiased estimator despite the critical
+    /// stratum being oversampled.
+    pub stratified: Option<StratifiedStats>,
+}
+
+impl LayerResult {
+    /// The layer's unbiased ΔLoss mean: the stratified estimator when
+    /// importance sampling was on, the plain mean otherwise.
+    pub fn delta_loss_mean(&self) -> f32 {
+        self.stratified.as_ref().map_or_else(|| self.delta_loss.mean(), StratifiedStats::mean)
+    }
 }
 
 /// The full campaign result.
@@ -169,16 +247,29 @@ pub struct CampaignResult {
     /// Every trial's replayable record, in canonical `(layer, trial)`
     /// order; each is tagged with the executor worker that ran it.
     pub trials: Vec<TrialRecord>,
+    /// Trials the config asked for (`layers × injections_per_layer`);
+    /// `trials.len() < planned_trials` measures early-stop savings.
+    pub planned_trials: usize,
 }
 
 impl CampaignResult {
     /// Mean ΔLoss averaged across layers — the paper's single-value
-    /// resilience summary used in Figure 9.
+    /// resilience summary used in Figure 9. Uses each layer's unbiased
+    /// estimator ([`LayerResult::delta_loss_mean`]).
     pub fn avg_delta_loss(&self) -> f32 {
         if self.layers.is_empty() {
             return 0.0;
         }
-        self.layers.iter().map(|l| l.delta_loss.mean()).sum::<f32>() / self.layers.len() as f32
+        self.layers.iter().map(LayerResult::delta_loss_mean).sum::<f32>() / self.layers.len() as f32
+    }
+
+    /// Fraction of planned trials skipped by early stopping (0.0 when it
+    /// never triggered or was off).
+    pub fn early_stop_savings(&self) -> f64 {
+        if self.planned_trials == 0 {
+            return 0.0;
+        }
+        1.0 - self.trials.len() as f64 / self.planned_trials as f64
     }
 
     /// The canonical per-trial JSONL block: one line per trial in
@@ -210,8 +301,15 @@ impl CampaignResult {
             .with_config("injections_per_layer", cfg.injections_per_layer)
             .with_config("seed", cfg.seed)
             .with_config("jobs", cfg.jobs)
+            .with_config("trials_per_batch", cfg.trials_per_batch)
+            .with_config("sampler", cfg.sampler.as_str())
             .with_extra("avg_delta_loss", self.avg_delta_loss())
+            .with_extra("planned_trials", self.planned_trials)
+            .with_extra("early_stop_savings", self.early_stop_savings())
             .with_extra("trials", self.trials.len());
+        if let Some(ci) = cfg.early_stop {
+            m = m.with_config("early_stop", ci);
+        }
         m.wall_time_s = wall_time_s;
         if wall_time_s > 0.0 {
             m = m.with_extra("trials_per_sec", self.trials.len() as f64 / wall_time_s);
@@ -283,17 +381,62 @@ fn trial_record(
     record
 }
 
+/// Per-site accumulator for the wave scheduler: canonical-order records
+/// plus the running statistics the early-stop rule reads.
+struct SiteState {
+    done: usize,
+    stopped: bool,
+    records: Vec<TrialRecord>,
+    delta_loss: RunningStats,
+    mismatch: RunningStats,
+    fired: usize,
+    stratified: Option<StratifiedStats>,
+    strata: BitStrata,
+}
+
+impl SiteState {
+    fn fold(&mut self, record: TrialRecord) {
+        if let (Some(d), Some(m)) = (record.delta_loss, record.mismatch) {
+            self.fired += 1;
+            self.delta_loss.push(d);
+            self.mismatch.push(m);
+            if let (Some(strat), Some(bit)) = (&mut self.stratified, record.bit) {
+                strat.push(self.strata.stratum_of(bit), d);
+            }
+        }
+        self.done += 1;
+        self.records.push(record);
+    }
+
+    fn should_stop(&self, rule: &EarlyStop) -> bool {
+        match &self.stratified {
+            Some(s) => rule.should_stop_stratified(s),
+            None => rule.should_stop(&self.delta_loss),
+        }
+    }
+}
+
 /// Runs a layer-by-layer injection campaign.
 ///
-/// For each instrumented layer, performs `cfg.injections_per_layer` unique
-/// single-bit flips (per `cfg.kind`), each in a fresh inference over
-/// `(x, targets)`, and compares against the error-free emulated run.
+/// For each instrumented layer, performs up to `cfg.injections_per_layer`
+/// single-bit flips (per `cfg.kind`), each compared against the
+/// error-free emulated run over `(x, targets)`.
 ///
-/// Trials are independent inferences, so with `cfg.jobs > 1` they run on
-/// that many scoped worker threads; per-trial seeds come from
-/// [`trial_seed`] and outcomes are folded into the per-layer statistics
-/// in canonical `(layer, trial)` order, so the result is bit-identical
-/// for every `jobs` value.
+/// **Execution schedule.** With `cfg.trials_per_batch == 1` every trial
+/// is a fresh full inference (the classic engine). With a larger batch,
+/// the clean run is captured once as per-segment checkpoints
+/// ([`GoldenEye::capture_clean_run`]) and trials replay only the network
+/// suffix from the checkpoint preceding their injection layer, packed
+/// `N` replicas to a forward ([`GoldenEye::run_replay_batch`]). With
+/// `cfg.early_stop` set, each site's trials run in canonical waves of
+/// [`EARLY_STOP_WAVE`] and stop once the site's ΔLoss confidence
+/// interval is tight enough.
+///
+/// **Determinism.** Per-trial seeds come from [`trial_seed`], batched
+/// replicas reproduce their serial trials draw-for-draw, outcomes fold in
+/// canonical `(layer, trial)` order, and early-stop decisions happen only
+/// at wave boundaries — so the executed trial set and every record are
+/// bit-identical across all `jobs` *and* `trials_per_batch` values.
 ///
 /// # Panics
 ///
@@ -313,51 +456,150 @@ pub fn run_campaign(
             ge.format().name()
         );
     }
+    let batch = cfg.effective_batch(x.numel()).max(1);
     let _campaign_span = trace::span!(
         "campaign",
         format = ge.format().name(),
         site = cfg.kind.as_str(),
-        jobs = cfg.jobs
+        jobs = cfg.jobs,
+        batch = batch
     );
     let layers = ge.discover_layers(model, x.clone());
-    let golden = ge.run(model, x.clone());
     let n = cfg.injections_per_layer;
-    // One flat trial space: trial t of layer l is global index l·n + t.
-    let trials = run_trials(cfg.jobs, layers.len() * n, |worker, idx| {
-        let layer = &layers[idx / n];
-        let trial = idx % n;
-        let _trial_span = trace::span!("trial", layer = layer.index, trial = trial);
-        let seed = trial_seed(cfg.seed, layer.index as u64, trial as u64);
-        let plan = InjectionPlan::single(layer.index, cfg.kind);
-        let (faulty, rec) = ge.run_with_injection(model, x.clone(), plan, seed);
-        let outcome = rec.as_ref().map(|_| compare_outcomes(&golden, &faulty, targets));
-        let site = rec.as_ref().map(|r| match r {
-            InjectionRecord::Value { flip, .. } => (flip.element, flip.bit),
-            InjectionRecord::Metadata { flip, .. } => (flip.word, flip.bit),
-        });
-        trial_record(layer.index, &layer.name, trial, cfg.kind, site, outcome.as_ref(), worker)
-    });
-    let mut results = Vec::with_capacity(layers.len());
-    for (li, layer) in layers.iter().enumerate() {
-        let mut delta_loss = RunningStats::new();
-        let mut mismatch = RunningStats::new();
-        let mut fired = 0usize;
-        for record in &trials[li * n..(li + 1) * n] {
-            if let (Some(d), Some(m)) = (record.delta_loss, record.mismatch) {
-                fired += 1;
-                delta_loss.push(d);
-                mismatch.push(m);
+    // Checkpointed clean run only when batching pays for it; its golden
+    // logits are bit-identical to `ge.run` either way.
+    let clean = (batch > 1).then(|| ge.capture_clean_run(model, x.clone()));
+    let golden = match &clean {
+        Some(c) => c.golden().clone(),
+        None => ge.run(model, x.clone()),
+    };
+    let rule = cfg.early_stop.map(EarlyStop::new);
+    let mut states: Vec<SiteState> = layers
+        .iter()
+        .map(|l| {
+            let strata = BitStrata::for_format(ge.format_for_layer(l.index));
+            let stratified = match (cfg.kind, cfg.sampler) {
+                (SiteKind::Value, BitSampler::Stratified { .. }) => Some(StratifiedStats::new(&[
+                    strata.population_weight(0),
+                    strata.population_weight(1),
+                ])),
+                _ => None,
+            };
+            SiteState {
+                done: 0,
+                stopped: false,
+                records: Vec::new(),
+                delta_loss: RunningStats::new(),
+                mismatch: RunningStats::new(),
+                fired: 0,
+                stratified,
+                strata,
+            }
+        })
+        .collect();
+    // Rounds of one wave per unstopped site; each wave splits into
+    // batches that never cross the wave boundary.
+    loop {
+        let mut units: Vec<(usize, usize, usize)> = Vec::new();
+        for (li, st) in states.iter().enumerate() {
+            if st.stopped || st.done >= n {
+                continue;
+            }
+            // Without early stopping there are no decisions to take, so
+            // one wave covers the whole site (fewer scheduling barriers).
+            let wave = if rule.is_some() { EARLY_STOP_WAVE } else { n };
+            let wave_end = st.done + wave.min(n - st.done);
+            let mut t = st.done;
+            while t < wave_end {
+                let len = batch.min(wave_end - t);
+                units.push((li, t, len));
+                t += len;
             }
         }
+        if units.is_empty() {
+            break;
+        }
+        let results: Vec<Vec<TrialRecord>> = run_trials(cfg.jobs, units.len(), |worker, u| {
+            let (li, start, len) = units[u];
+            let layer = &layers[li];
+            let plan = InjectionPlan::single(layer.index, cfg.kind);
+            let run_one = |trial: usize, faulty: &Tensor, rec: Option<&InjectionRecord>| {
+                let outcome = rec.map(|_| compare_outcomes(&golden, faulty, targets));
+                let site = rec.map(|r| match r {
+                    InjectionRecord::Value { flip, .. } => (flip.element, flip.bit),
+                    InjectionRecord::Metadata { flip, .. } => (flip.word, flip.bit),
+                });
+                trial_record(
+                    layer.index,
+                    &layer.name,
+                    trial,
+                    cfg.kind,
+                    site,
+                    outcome.as_ref(),
+                    worker,
+                )
+            };
+            match &clean {
+                Some(clean) => {
+                    let _span = trace::span!("batch", layer = layer.index, trials = len);
+                    let seeds: Vec<u64> = (start..start + len)
+                        .map(|t| trial_seed(cfg.seed, layer.index as u64, t as u64))
+                        .collect();
+                    let outs = ge.run_replay_batch(model, clean, plan, cfg.sampler, &seeds);
+                    outs.iter()
+                        .enumerate()
+                        .map(|(i, (faulty, rec))| run_one(start + i, faulty, rec.as_ref()))
+                        .collect()
+                }
+                None => (start..start + len)
+                    .map(|trial| {
+                        let _span = trace::span!("trial", layer = layer.index, trial = trial);
+                        let seed = trial_seed(cfg.seed, layer.index as u64, trial as u64);
+                        let (faulty, rec) = ge.run_with_injection_sampled(
+                            model,
+                            x.clone(),
+                            plan,
+                            seed,
+                            cfg.sampler,
+                        );
+                        run_one(trial, &faulty, rec.as_ref())
+                    })
+                    .collect(),
+            }
+        });
+        for ((li, _, _), recs) in units.iter().zip(results) {
+            for r in recs {
+                states[*li].fold(r);
+            }
+        }
+        if let Some(rule) = &rule {
+            for st in &mut states {
+                if !st.stopped && st.done < n && st.should_stop(rule) {
+                    st.stopped = true;
+                }
+            }
+        }
+    }
+    let mut results = Vec::with_capacity(layers.len());
+    let mut trials = Vec::new();
+    for (layer, st) in layers.iter().zip(states) {
+        trials.extend(st.records);
         results.push(LayerResult {
             layer: layer.index,
             name: layer.name.clone(),
-            delta_loss,
-            mismatch,
-            injections: fired,
+            delta_loss: st.delta_loss,
+            mismatch: st.mismatch,
+            injections: st.fired,
+            stratified: st.stratified,
         });
     }
-    CampaignResult { format: ge.format().name(), kind: cfg.kind, layers: results, trials }
+    CampaignResult {
+        format: ge.format().name(),
+        kind: cfg.kind,
+        layers: results,
+        trials,
+        planned_trials: layers.len() * n,
+    }
 }
 
 /// Runs a **weight**-fault campaign (§V-B: injections in weights as well
@@ -439,10 +681,18 @@ pub fn run_weight_campaign(
             delta_loss,
             mismatch,
             injections: n,
+            stratified: None,
         });
     }
     snapshot.restore(model);
-    CampaignResult { format: ge.format().name(), kind: SiteKind::Value, layers: results, trials }
+    let planned_trials = trials.len();
+    CampaignResult {
+        format: ge.format().name(),
+        kind: SiteKind::Value,
+        layers: results,
+        trials,
+        planned_trials,
+    }
 }
 
 #[cfg(test)]
@@ -469,8 +719,13 @@ mod tests {
     fn value_campaign_covers_all_layers() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
-        let cfg =
-            CampaignConfig { injections_per_layer: 5, kind: SiteKind::Value, seed: 7, jobs: 1 };
+        let cfg = CampaignConfig {
+            injections_per_layer: 5,
+            kind: SiteKind::Value,
+            seed: 7,
+            jobs: 1,
+            ..Default::default()
+        };
         let result = run_campaign(&ge, &model, &x, &y, &cfg);
         assert_eq!(result.layers.len(), 7); // tiny resnet instrumented layers
         for l in &result.layers {
@@ -484,8 +739,13 @@ mod tests {
     fn metadata_campaign_on_bfp() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
-        let cfg =
-            CampaignConfig { injections_per_layer: 5, kind: SiteKind::Metadata, seed: 7, jobs: 1 };
+        let cfg = CampaignConfig {
+            injections_per_layer: 5,
+            kind: SiteKind::Metadata,
+            seed: 7,
+            jobs: 1,
+            ..Default::default()
+        };
         let result = run_campaign(&ge, &model, &x, &y, &cfg);
         assert!(result.layers.iter().all(|l| l.injections == 5));
     }
@@ -502,7 +762,13 @@ mod tests {
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 3, jobs: 1 },
+            &CampaignConfig {
+                injections_per_layer: 30,
+                kind: SiteKind::Value,
+                seed: 3,
+                jobs: 1,
+                ..Default::default()
+            },
         );
         let meta = run_campaign(
             &ge,
@@ -514,6 +780,7 @@ mod tests {
                 kind: SiteKind::Metadata,
                 seed: 3,
                 jobs: 1,
+                ..Default::default()
             },
         );
         assert!(
@@ -534,7 +801,13 @@ mod tests {
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 1, kind: SiteKind::Metadata, seed: 0, jobs: 1 },
+            &CampaignConfig {
+                injections_per_layer: 1,
+                kind: SiteKind::Metadata,
+                seed: 0,
+                jobs: 1,
+                ..Default::default()
+            },
         );
     }
 
@@ -543,8 +816,13 @@ mod tests {
         let (model, x, y) = setup();
         let before = models::forward_logits(&model, x.clone());
         let ge = GoldenEye::parse("fp:e4m3").unwrap();
-        let cfg =
-            CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 1, jobs: 1 };
+        let cfg = CampaignConfig {
+            injections_per_layer: 4,
+            kind: SiteKind::Value,
+            seed: 1,
+            jobs: 1,
+            ..Default::default()
+        };
         let result = run_weight_campaign(&ge, &model, &x, &y, &cfg);
         // tiny resnet: stem + 4 block convs + 1 downsample + head = 7
         // weight tensors.
@@ -559,8 +837,13 @@ mod tests {
     fn weight_campaign_is_deterministic() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("int:8").unwrap();
-        let cfg =
-            CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 9, jobs: 1 };
+        let cfg = CampaignConfig {
+            injections_per_layer: 3,
+            kind: SiteKind::Value,
+            seed: 9,
+            jobs: 1,
+            ..Default::default()
+        };
         let a = run_weight_campaign(&ge, &model, &x, &y, &cfg);
         let b = run_weight_campaign(&ge, &model, &x, &y, &cfg);
         for (la, lb) in a.layers.iter().zip(&b.layers) {
@@ -572,12 +855,175 @@ mod tests {
     fn campaign_is_deterministic() {
         let (model, x, y) = setup();
         let ge = GoldenEye::parse("int:8").unwrap();
-        let cfg =
-            CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 11, jobs: 1 };
+        let cfg = CampaignConfig {
+            injections_per_layer: 3,
+            kind: SiteKind::Value,
+            seed: 11,
+            jobs: 1,
+            ..Default::default()
+        };
         let a = run_campaign(&ge, &model, &x, &y, &cfg);
         let b = run_campaign(&ge, &model, &x, &y, &cfg);
         for (la, lb) in a.layers.iter().zip(&b.layers) {
             assert_eq!(la.delta_loss.mean(), lb.delta_loss.mean());
         }
+    }
+
+    #[test]
+    fn batched_campaign_is_byte_identical_to_per_trial() {
+        let (model, x, y) = setup();
+        for spec in ["fp:e4m3", "bfp:e5m5:b16"] {
+            let ge = GoldenEye::parse(spec).unwrap();
+            let base = CampaignConfig {
+                injections_per_layer: 7,
+                kind: SiteKind::Value,
+                seed: 13,
+                jobs: 1,
+                ..Default::default()
+            };
+            let serial = run_campaign(&ge, &model, &x, &y, &base);
+            for batch in [2, 3, 7, 16] {
+                let cfg = base.clone().with_trials_per_batch(batch);
+                let batched = run_campaign(&ge, &model, &x, &y, &cfg);
+                assert_eq!(
+                    serial.canonical_trial_jsonl(),
+                    batched.canonical_trial_jsonl(),
+                    "{spec}: batch {batch} diverged from per-trial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_metadata_campaign_matches_per_trial() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("bfp:e5m5:b16").unwrap();
+        let base = CampaignConfig {
+            injections_per_layer: 5,
+            kind: SiteKind::Metadata,
+            seed: 17,
+            jobs: 1,
+            ..Default::default()
+        };
+        let serial = run_campaign(&ge, &model, &x, &y, &base);
+        let batched = run_campaign(&ge, &model, &x, &y, &base.clone().with_trials_per_batch(5));
+        assert_eq!(serial.canonical_trial_jsonl(), batched.canonical_trial_jsonl());
+    }
+
+    #[test]
+    fn early_stopping_skips_trials_and_is_schedule_invariant() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        // A loose CI bound stops converged sites after the first wave.
+        let base = CampaignConfig {
+            injections_per_layer: 3 * EARLY_STOP_WAVE,
+            kind: SiteKind::Value,
+            seed: 19,
+            jobs: 1,
+            ..Default::default()
+        }
+        .with_early_stop(5.0);
+        let a = run_campaign(&ge, &model, &x, &y, &base);
+        assert!(
+            a.trials.len() < a.planned_trials,
+            "loose CI should stop early ({} of {} trials ran)",
+            a.trials.len(),
+            a.planned_trials
+        );
+        assert!(a.early_stop_savings() > 0.0);
+        // The executed trial set is identical across batch sizes and jobs.
+        for (batch, jobs) in [(4, 1), (16, 2), (EARLY_STOP_WAVE, 3)] {
+            let cfg = base.clone().with_trials_per_batch(batch).with_jobs(jobs);
+            let b = run_campaign(&ge, &model, &x, &y, &cfg);
+            assert_eq!(
+                a.canonical_trial_jsonl(),
+                b.canonical_trial_jsonl(),
+                "batch {batch} jobs {jobs} changed the early-stopped trial set"
+            );
+        }
+    }
+
+    #[test]
+    fn early_stopped_sites_report_converged_ci() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let cfg = CampaignConfig {
+            injections_per_layer: 4 * EARLY_STOP_WAVE,
+            kind: SiteKind::Value,
+            seed: 23,
+            jobs: 1,
+            ..Default::default()
+        }
+        .with_early_stop(0.8)
+        .with_trials_per_batch(8);
+        let result = run_campaign(&ge, &model, &x, &y, &cfg);
+        for l in &result.layers {
+            if l.delta_loss.count() < (4 * EARLY_STOP_WAVE) as u64 {
+                assert!(
+                    l.delta_loss.ci95_half_width() <= 0.8,
+                    "layer {} stopped at CI {}",
+                    l.name,
+                    l.delta_loss.ci95_half_width()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_campaign_reports_reweighted_stats() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let cfg = CampaignConfig {
+            injections_per_layer: 40,
+            kind: SiteKind::Value,
+            seed: 29,
+            jobs: 1,
+            ..Default::default()
+        }
+        .with_sampler(BitSampler::Stratified { critical_mass: 0.75 })
+        .with_trials_per_batch(8);
+        let result = run_campaign(&ge, &model, &x, &y, &cfg);
+        let mut critical_total = 0u64;
+        for l in &result.layers {
+            let strat = l.stratified.as_ref().expect("stratified stats present");
+            assert_eq!(strat.count(), l.delta_loss.count());
+            critical_total += strat.stratum(0).count();
+            // The unbiased estimator is what delta_loss_mean exposes.
+            assert_eq!(l.delta_loss_mean(), strat.mean());
+        }
+        // fp:e4m3 has a 4-bit exponent field out of 8 bits; uniform
+        // sampling would land ~50% of faults there, the stratified
+        // sampler ~75%.
+        let frac = critical_total as f64 / result.trials.len() as f64;
+        assert!(frac > 0.62, "critical stratum fraction {frac} not oversampled");
+    }
+
+    #[test]
+    fn uniform_campaign_has_no_stratified_stats() {
+        let (model, x, y) = setup();
+        let ge = GoldenEye::parse("int:8").unwrap();
+        let cfg = CampaignConfig {
+            injections_per_layer: 2,
+            kind: SiteKind::Value,
+            seed: 31,
+            jobs: 1,
+            ..Default::default()
+        };
+        let result = run_campaign(&ge, &model, &x, &y, &cfg);
+        assert!(result.layers.iter().all(|l| l.stratified.is_none()));
+        assert_eq!(result.planned_trials, result.trials.len());
+        assert_eq!(result.early_stop_savings(), 0.0);
+    }
+
+    #[test]
+    fn effective_batch_auto_sizes_from_pool_budget() {
+        let cfg = CampaignConfig::default().with_trials_per_batch(0);
+        // Tiny inputs hit the upper clamp…
+        assert_eq!(cfg.effective_batch(16), 32);
+        // …huge inputs the lower one.
+        assert_eq!(cfg.effective_batch(usize::MAX / 16), 2);
+        // Explicit batch sizes pass through.
+        assert_eq!(cfg.clone().with_trials_per_batch(6).effective_batch(16), 6);
+        assert_eq!(CampaignConfig::default().effective_batch(16), 1);
     }
 }

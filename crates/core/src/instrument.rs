@@ -6,9 +6,10 @@
 //! flip a bit in a value or a metadata register → write the result back as
 //! the nearest FP32 value → continue the inference.
 
-use formats::NumberFormat;
+use formats::{NumberFormat, Quantized};
 use inject::{
-    flip_metadata, flip_value, Injector, MetadataFlip, RangeProfile, SiteKind, ValueFlip,
+    flip_metadata, flip_value, BitSampler, BitStrata, Injector, MetadataFlip, RangeProfile,
+    SiteKind, ValueFlip,
 };
 use nn::{Ctx, ForwardHook, LayerInfo, LayerKind, Module, Param};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -144,6 +145,7 @@ struct EmulationHook {
     formats: Arc<FormatTable>,
     filter: LayerFilter,
     plan: Option<InjectionPlan>,
+    sampler: BitSampler,
     injector: Mutex<Injector>,
     record: Mutex<Option<InjectionRecord>>,
     range: Arc<RangeProfile>,
@@ -175,32 +177,7 @@ impl ForwardHook for EmulationHook {
         if let Some(plan) = &self.plan {
             if plan.layer == layer.index {
                 let mut inj = lock(&self.injector);
-                let record = match plan.kind {
-                    SiteKind::Value => {
-                        let numel = q.values.numel();
-                        let width = format.bit_width() as usize;
-                        let f = inj.sample_value_fault(numel, width);
-                        let flip = if plan.bits <= 1 {
-                            flip_value(format, &mut q, f.index, f.bit)
-                        } else {
-                            let bits = sample_distinct_bits(&mut inj, width, plan.bits, f.bit);
-                            inject::flip_value_multi(format, &mut q, f.index, &bits)
-                        };
-                        InjectionRecord::Value { layer: layer.clone(), flip }
-                    }
-                    SiteKind::Metadata => {
-                        let words = q.meta.word_count();
-                        let width = q.meta.word_width();
-                        let f = inj.sample_metadata_fault(words, width);
-                        let mut flip = flip_metadata(format, &mut q, f.index, f.bit);
-                        for &b in
-                            sample_distinct_bits(&mut inj, width, plan.bits, f.bit).iter().skip(1)
-                        {
-                            flip = flip_metadata(format, &mut q, f.index, b);
-                        }
-                        InjectionRecord::Metadata { layer: layer.clone(), flip }
-                    }
-                };
+                let record = apply_fault(format, layer, plan, &self.sampler, &mut inj, &mut q);
                 *lock(&self.record) = Some(record);
             }
         }
@@ -209,6 +186,131 @@ impl ForwardHook for EmulationHook {
         if let Some(t0) = timing {
             hook_metrics().dequantize_ns.record(t0.elapsed().as_nanos() as u64);
         }
+        let values = match self.range_mode {
+            RangeMode::Off => values,
+            RangeMode::Profile => {
+                self.range.observe(layer.index, &values);
+                values
+            }
+            RangeMode::Detect => self.range.clamp(layer.index, &values),
+        };
+        Some(values)
+    }
+
+    fn applies_to(&self, kind: LayerKind) -> bool {
+        self.filter.matches(kind)
+    }
+}
+
+/// Samples and executes one planned fault on an already-quantised tensor,
+/// drawing locations from `inj`. Shared by the serial and batched hooks,
+/// which is what makes a batched replica reproduce its serial trial
+/// draw-for-draw: both paths consume the trial's RNG identically.
+fn apply_fault(
+    format: &dyn NumberFormat,
+    layer: &LayerInfo,
+    plan: &InjectionPlan,
+    sampler: &BitSampler,
+    inj: &mut Injector,
+    q: &mut Quantized,
+) -> InjectionRecord {
+    match plan.kind {
+        SiteKind::Value => {
+            let width = format.bit_width() as usize;
+            let strata = BitStrata::for_format(format);
+            let (f, _) = inj
+                .try_sample_value_fault_with(q.values.numel(), sampler, &strata)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let flip = if plan.bits <= 1 {
+                flip_value(format, q, f.index, f.bit)
+            } else {
+                let bits = sample_distinct_bits(inj, width, plan.bits, f.bit);
+                inject::flip_value_multi(format, q, f.index, &bits)
+            };
+            InjectionRecord::Value { layer: layer.clone(), flip }
+        }
+        SiteKind::Metadata => {
+            let words = q.meta.word_count();
+            let width = q.meta.word_width();
+            let f = inj.sample_metadata_fault(words, width);
+            let mut flip = flip_metadata(format, q, f.index, f.bit);
+            for &b in sample_distinct_bits(inj, width, plan.bits, f.bit).iter().skip(1) {
+                flip = flip_metadata(format, q, f.index, b);
+            }
+            InjectionRecord::Metadata { layer: layer.clone(), flip }
+        }
+    }
+}
+
+/// The batch-aware emulation hook: one forward pass carries N trial
+/// replicas stacked along the batch dimension (replica `r` in rows
+/// `r·B..(r+1)·B`), and every replica slice is quantised **independently**.
+/// Per-tensor formats derive tensor-wide state (BFP shared exponents, INT
+/// scales, AFP biases) during quantisation, so slicing is what keeps each
+/// replica's metadata layout — and therefore its fault's element/word
+/// addressing — bit-identical to a serial single-trial run over the same
+/// `[B, ...]` tensor.
+struct BatchEmulationHook {
+    formats: Arc<FormatTable>,
+    filter: LayerFilter,
+    plan: InjectionPlan,
+    sampler: BitSampler,
+    /// Per-replica injector and the record of what its fault did.
+    state: Mutex<Vec<(Injector, Option<InjectionRecord>)>>,
+    range: Arc<RangeProfile>,
+    range_mode: RangeMode,
+}
+
+impl ForwardHook for BatchEmulationHook {
+    fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
+        self.on_output_batched(layer, output, 1)
+    }
+
+    fn on_output_batched(
+        &self,
+        layer: &LayerInfo,
+        output: &Tensor,
+        replicas: usize,
+    ) -> Option<Tensor> {
+        let format = self.formats.resolve(layer.index);
+        let rows = output.dims()[0];
+        assert_eq!(rows % replicas, 0, "{rows} rows do not split into {replicas} replicas");
+        let per = rows / replicas;
+        let inject_here = self.plan.layer == layer.index;
+        let timing = trace::recording().then(Instant::now);
+        let mut slices = Vec::with_capacity(replicas);
+        {
+            let mut state = inject_here.then(|| lock(&self.state));
+            if let Some(state) = &state {
+                assert_eq!(state.len(), replicas, "one injector per replica");
+            }
+            for r in 0..replicas {
+                let slice = if replicas == 1 {
+                    output.clone()
+                } else {
+                    tensor::ops::narrow(output, 0, r * per, per)
+                };
+                let mut q = format.real_to_format_tensor(&slice);
+                if let Some(state) = state.as_mut() {
+                    let (inj, rec) = &mut state[r];
+                    *rec = Some(apply_fault(format, layer, &self.plan, &self.sampler, inj, &mut q));
+                }
+                slices.push(format.format_to_real_tensor(&q));
+            }
+        }
+        if let Some(t0) = timing {
+            let m = hook_metrics();
+            m.quantize_ns.record(t0.elapsed().as_nanos() as u64);
+            m.convert_elems.add(output.numel() as u64);
+        }
+        let values = if replicas == 1 {
+            slices.pop().unwrap()
+        } else {
+            let refs: Vec<&Tensor> = slices.iter().collect();
+            tensor::ops::concat(&refs, 0)
+        };
+        // Range handling is element-wise per layer, so clamping the packed
+        // tensor equals clamping each replica slice.
         let values = match self.range_mode {
             RangeMode::Off => values,
             RangeMode::Profile => {
@@ -251,6 +353,42 @@ impl ForwardHook for DiscoveryHook {
 
     fn applies_to(&self, kind: LayerKind) -> bool {
         self.filter.matches(kind)
+    }
+}
+
+/// The cached state of one clean (fault-free) emulated inference, captured
+/// by [`GoldenEye::capture_clean_run`]: the activation entering each model
+/// segment, the hook-point count at each segment boundary, and the golden
+/// logits. [`GoldenEye::run_replay_batch`] replays faulty trials from the
+/// deepest checkpoint preceding the injection layer instead of re-running
+/// the whole network.
+pub struct CleanRun {
+    seg_inputs: Vec<Tensor>,
+    seg_layer_offset: Vec<usize>,
+    total_layers: usize,
+    golden: Tensor,
+}
+
+impl CleanRun {
+    /// The fault-free logits — bit-identical to [`GoldenEye::run`] on the
+    /// same input.
+    pub fn golden(&self) -> &Tensor {
+        &self.golden
+    }
+
+    /// Number of hook points (instrumented layers) in the clean forward.
+    pub fn layers_seen(&self) -> usize {
+        self.total_layers
+    }
+
+    /// The deepest segment whose first hook point is ≤ `layer` — i.e. the
+    /// checkpoint a trial injecting at `layer` replays from.
+    pub fn segment_for_layer(&self, layer: usize) -> usize {
+        match self.seg_layer_offset.binary_search(&layer) {
+            Ok(s) => s,
+            Err(0) => 0,
+            Err(s) => s - 1,
+        }
     }
 }
 
@@ -366,7 +504,7 @@ impl GoldenEye {
 
     /// Runs an emulated inference (no injection) and returns the logits.
     pub fn run(&self, model: &dyn Module, x: Tensor) -> Tensor {
-        self.run_inner(model, x, None, 0).0
+        self.run_inner(model, x, None, 0, BitSampler::Uniform).0
     }
 
     /// Runs an emulated inference with one fault injected per `plan`,
@@ -381,7 +519,21 @@ impl GoldenEye {
         plan: InjectionPlan,
         seed: u64,
     ) -> (Tensor, Option<InjectionRecord>) {
-        self.run_inner(model, x, Some(plan), seed)
+        self.run_inner(model, x, Some(plan), seed, BitSampler::Uniform)
+    }
+
+    /// [`GoldenEye::run_with_injection`] with an explicit bit-position
+    /// sampling policy for value faults. `BitSampler::Uniform` reproduces
+    /// `run_with_injection` draw-for-draw.
+    pub fn run_with_injection_sampled(
+        &self,
+        model: &dyn Module,
+        x: Tensor,
+        plan: InjectionPlan,
+        seed: u64,
+        sampler: BitSampler,
+    ) -> (Tensor, Option<InjectionRecord>) {
+        self.run_inner(model, x, Some(plan), seed, sampler)
     }
 
     fn format_table(&self) -> Arc<FormatTable> {
@@ -397,19 +549,17 @@ impl GoldenEye {
         x: Tensor,
         plan: Option<InjectionPlan>,
         seed: u64,
+        sampler: BitSampler,
     ) -> (Tensor, Option<InjectionRecord>) {
         let hook = Arc::new(EmulationHook {
             formats: self.format_table(),
             filter: self.filter,
             plan,
+            sampler,
             injector: Mutex::new(Injector::new(seed)),
             record: Mutex::new(None),
             range: self.range.clone(),
-            range_mode: if self.detect && !self.range.is_empty() {
-                RangeMode::Detect
-            } else {
-                RangeMode::Off
-            },
+            range_mode: self.trial_range_mode(),
         });
         let mut ctx = Ctx::inference();
         ctx.add_hook(hook.clone());
@@ -417,6 +567,101 @@ impl GoldenEye {
         let logits = model.forward(&xv, &mut ctx).value();
         let record = lock(&hook.record).clone();
         (logits, record)
+    }
+
+    fn trial_range_mode(&self) -> RangeMode {
+        if self.detect && !self.range.is_empty() {
+            RangeMode::Detect
+        } else {
+            RangeMode::Off
+        }
+    }
+
+    /// Runs one clean (fault-free) emulated inference segment by segment,
+    /// caching the activation entering each [`Module`] segment and the
+    /// hook-point count at each boundary. The cached activations are the
+    /// checkpoints batched trials replay from: a trial injecting at layer
+    /// `L` re-executes only the segments from `L`'s onward.
+    ///
+    /// Since `Module::forward` is contractually the segment chain, the
+    /// returned golden logits are bit-identical to [`GoldenEye::run`].
+    pub fn capture_clean_run(&self, model: &dyn Module, x: Tensor) -> CleanRun {
+        let hook = Arc::new(EmulationHook {
+            formats: self.format_table(),
+            filter: self.filter,
+            plan: None,
+            sampler: BitSampler::Uniform,
+            injector: Mutex::new(Injector::new(0)),
+            record: Mutex::new(None),
+            range: self.range.clone(),
+            range_mode: self.trial_range_mode(),
+        });
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(hook);
+        let segments = model.num_segments();
+        let mut seg_inputs = Vec::with_capacity(segments);
+        let mut seg_layer_offset = Vec::with_capacity(segments);
+        let mut h = ctx.input(x);
+        for s in 0..segments {
+            seg_inputs.push(h.value());
+            seg_layer_offset.push(ctx.layers_seen());
+            h = model.forward_segment(s, &h, &mut ctx);
+        }
+        CleanRun {
+            seg_inputs,
+            seg_layer_offset,
+            total_layers: ctx.layers_seen(),
+            golden: h.value(),
+        }
+    }
+
+    /// Replays a batch of fault trials from the checkpoint preceding the
+    /// injection layer: the cached clean activation is tiled into
+    /// `seeds.len()` contiguous replicas, the remaining segments run as
+    /// **one** batched forward, and replica `r`'s fault is drawn from
+    /// `Injector::new(seeds[r])` at the injection site — so each returned
+    /// `(logits, record)` pair is bit-identical to
+    /// [`GoldenEye::run_with_injection_sampled`] with that seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty (an empty batch has no trials to replay;
+    /// sample faults through `Injector::try_sample_value_fault_batch` to
+    /// get the typed empty-space errors instead).
+    pub fn run_replay_batch(
+        &self,
+        model: &dyn Module,
+        clean: &CleanRun,
+        plan: InjectionPlan,
+        sampler: BitSampler,
+        seeds: &[u64],
+    ) -> Vec<(Tensor, Option<InjectionRecord>)> {
+        assert!(!seeds.is_empty(), "a replay batch needs at least one trial seed");
+        let n = seeds.len();
+        let seg = clean.segment_for_layer(plan.layer);
+        let hook = Arc::new(BatchEmulationHook {
+            formats: self.format_table(),
+            filter: self.filter,
+            plan,
+            sampler,
+            state: Mutex::new(seeds.iter().map(|&s| (Injector::new(s), None)).collect()),
+            range: self.range.clone(),
+            range_mode: self.trial_range_mode(),
+        });
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(hook.clone());
+        ctx.set_base_layer(clean.seg_layer_offset[seg]);
+        ctx.set_replicas(n);
+        let mut h = ctx.input(tensor::ops::tile_batch(&clean.seg_inputs[seg], n));
+        for s in seg..model.num_segments() {
+            h = model.forward_segment(s, &h, &mut ctx);
+        }
+        let logits = h.value();
+        let per = logits.dims()[0] / n;
+        let state = lock(&hook.state);
+        (0..n)
+            .map(|r| (tensor::ops::narrow(&logits, 0, r * per, per), state[r].1.clone()))
+            .collect()
     }
 
     /// Profiles per-layer activation ranges on clean emulated runs, for
@@ -431,6 +676,7 @@ impl GoldenEye {
                 formats: self.format_table(),
                 filter: self.filter,
                 plan: None,
+                sampler: BitSampler::Uniform,
                 injector: Mutex::new(Injector::new(0)),
                 record: Mutex::new(None),
                 range: self.range.clone(),
@@ -908,5 +1154,112 @@ mod tests {
         assert_ne!(flip.old, flip.new);
         snap.restore(&model);
         assert!(ge.inject_weight_fault(&model, "nonexistent", 0, 0).is_none());
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.dims(), b.dims(), "{what}: shape mismatch");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} differs");
+        }
+    }
+
+    #[test]
+    fn clean_run_golden_matches_whole_forward() {
+        let model = tiny_model(21);
+        let x = sample(22);
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let clean = ge.capture_clean_run(&model, x.clone());
+        assert_bits_equal(clean.golden(), &ge.run(&model, x), "golden logits");
+        assert!(clean.layers_seen() >= 7);
+        // Offsets are sorted and start at 0, so layer→segment lookup works.
+        assert_eq!(clean.seg_layer_offset[0], 0);
+        assert!(clean.seg_layer_offset.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn replay_batch_is_bit_identical_to_per_trial_runs() {
+        let model = tiny_model(23);
+        let x = sample(24);
+        for spec in ["fp:e4m3", "bfp:e5m2:b8", "int:8"] {
+            let ge = GoldenEye::parse(spec).unwrap();
+            let layers = ge.discover_layers(&model, x.clone());
+            let clean = ge.capture_clean_run(&model, x.clone());
+            // A shallow and a deep layer exercise different checkpoints.
+            for &target in &[layers[1].index, layers[layers.len() - 1].index] {
+                let plan = InjectionPlan::single(target, SiteKind::Value);
+                let seeds = [101u64, 102, 103];
+                let batch = ge.run_replay_batch(&model, &clean, plan, BitSampler::Uniform, &seeds);
+                assert_eq!(batch.len(), seeds.len());
+                for (&seed, (logits, record)) in seeds.iter().zip(&batch) {
+                    let (sl, sr) = ge.run_with_injection(&model, x.clone(), plan, seed);
+                    assert_bits_equal(logits, &sl, &format!("{spec} seed {seed}"));
+                    assert_eq!(format!("{record:?}"), format!("{sr:?}"), "{spec} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_batch_of_one_matches_serial_path() {
+        let model = tiny_model(25);
+        let x = sample(26);
+        let ge = GoldenEye::parse("afp:e4m3").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let clean = ge.capture_clean_run(&model, x.clone());
+        let plan = InjectionPlan::single(layers[2].index, SiteKind::Value);
+        let batch = ge.run_replay_batch(&model, &clean, plan, BitSampler::Uniform, &[7]);
+        let (sl, sr) = ge.run_with_injection(&model, x, plan, 7);
+        assert_bits_equal(&batch[0].0, &sl, "batch of one");
+        assert_eq!(format!("{:?}", batch[0].1), format!("{sr:?}"));
+    }
+
+    #[test]
+    fn replay_batch_stratified_matches_serial_stratified() {
+        let model = tiny_model(27);
+        let x = sample(28);
+        let ge = GoldenEye::parse("fp:e4m3").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let clean = ge.capture_clean_run(&model, x.clone());
+        let plan = InjectionPlan::single(layers[1].index, SiteKind::Value);
+        let sampler = BitSampler::Stratified { critical_mass: 0.75 };
+        let batch = ge.run_replay_batch(&model, &clean, plan, sampler, &[11, 12]);
+        for (&seed, (logits, record)) in [11u64, 12].iter().zip(&batch) {
+            let (sl, sr) = ge.run_with_injection_sampled(&model, x.clone(), plan, seed, sampler);
+            assert_bits_equal(logits, &sl, &format!("stratified seed {seed}"));
+            assert_eq!(format!("{record:?}"), format!("{sr:?}"));
+        }
+    }
+
+    #[test]
+    fn replay_batch_metadata_faults_match_serial() {
+        let model = tiny_model(29);
+        let x = sample(30);
+        let ge = GoldenEye::parse("bfp:e5m2:b8").unwrap();
+        let layers = ge.discover_layers(&model, x.clone());
+        let clean = ge.capture_clean_run(&model, x.clone());
+        let plan = InjectionPlan::single(layers[3].index, SiteKind::Metadata);
+        let batch = ge.run_replay_batch(&model, &clean, plan, BitSampler::Uniform, &[31, 32]);
+        for (&seed, (logits, record)) in [31u64, 32].iter().zip(&batch) {
+            let (sl, sr) = ge.run_with_injection(&model, x.clone(), plan, seed);
+            assert_bits_equal(logits, &sl, &format!("metadata seed {seed}"));
+            assert_eq!(format!("{record:?}"), format!("{sr:?}"));
+        }
+    }
+
+    #[test]
+    fn segment_for_layer_picks_deepest_checkpoint() {
+        let clean = CleanRun {
+            seg_inputs: vec![],
+            seg_layer_offset: vec![0, 1, 3, 5],
+            total_layers: 7,
+            golden: Tensor::zeros([1, 1]),
+        };
+        assert_eq!(clean.segment_for_layer(0), 0);
+        assert_eq!(clean.segment_for_layer(1), 1);
+        assert_eq!(clean.segment_for_layer(2), 1);
+        assert_eq!(clean.segment_for_layer(3), 2);
+        assert_eq!(clean.segment_for_layer(4), 2);
+        assert_eq!(clean.segment_for_layer(6), 3);
+        assert_eq!(clean.layers_seen(), 7);
     }
 }

@@ -49,8 +49,10 @@ mod instrument;
 
 pub use campaign::{
     run_campaign, run_weight_campaign, trial_seed, CampaignConfig, CampaignResult, LayerResult,
+    EARLY_STOP_WAVE,
 };
 pub use evaluate::{accuracy_sweep, evaluate_accuracy, evaluate_accuracy_jobs, AccuracyPoint};
 pub use instrument::{
-    FaultyTrainingHook, GoldenEye, InjectionPlan, InjectionRecord, LayerFilter, ParamSnapshot,
+    CleanRun, FaultyTrainingHook, GoldenEye, InjectionPlan, InjectionRecord, LayerFilter,
+    ParamSnapshot,
 };

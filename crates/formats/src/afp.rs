@@ -151,6 +151,10 @@ impl NumberFormat for AdaptivFloat {
         true
     }
 
+    fn exponent_field(&self) -> Option<std::ops::Range<usize>> {
+        Some(1..1 + self.params.e as usize)
+    }
+
     fn apply_metadata(&self, values: &Tensor, old: &Metadata, new: &Metadata) -> Tensor {
         let ob = Self::expect_bias(old);
         let nb = Self::expect_bias(new);

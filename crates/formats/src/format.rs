@@ -117,6 +117,17 @@ pub trait NumberFormat: std::fmt::Debug + Send + Sync {
         false
     }
 
+    /// Bit positions (0 = MSB) of the exponent field within one encoded
+    /// data value, when the format has one — `1..1+e` for the
+    /// `[sign | exponent | mantissa]` floats. `None` for formats whose
+    /// value words carry no per-element exponent (INT, FxP, and BFP, whose
+    /// exponent lives in shared metadata). Drives exponent-weighted
+    /// importance sampling of bit flips (MPGemmFI's observation that
+    /// exponent-bit faults dominate outcome severity).
+    fn exponent_field(&self) -> Option<std::ops::Range<usize>> {
+        None
+    }
+
     /// Re-interprets already-quantised `values` under corrupted metadata
     /// `new` (hardware keeps the stored codes; only the register changed).
     ///

@@ -386,6 +386,10 @@ impl NumberFormat for FloatingPoint {
             },
         }
     }
+
+    fn exponent_field(&self) -> Option<std::ops::Range<usize>> {
+        Some(1..1 + self.params.e as usize)
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! reproducible (the role PyTorchFI plays for the paper's tool).
 
 use crate::flip::{flip_metadata, flip_value, MetadataFlip, ValueFlip};
-use crate::site::SiteKind;
+use crate::site::{BitSampler, BitStrata, SiteKind};
 use formats::{NumberFormat, Quantized};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -118,6 +118,92 @@ impl Injector {
             Ok(f) => f,
             Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Samples a value-bit fault under an explicit bit-position sampling
+    /// policy, returning the fault and the stratum (0 = critical, 1 = rest)
+    /// it landed in.
+    ///
+    /// With [`BitSampler::Uniform`] the RNG draw sequence is **identical**
+    /// to [`Injector::try_sample_value_fault`] (element, then bit), so a
+    /// campaign that switches to this entry point reproduces historical
+    /// fault sequences bit-for-bit under the same seeds.
+    pub fn try_sample_value_fault_with(
+        &mut self,
+        numel: usize,
+        sampler: &BitSampler,
+        strata: &BitStrata,
+    ) -> Result<(Fault, usize), EmptyFaultSpace> {
+        if numel == 0 {
+            return Err(EmptyFaultSpace::NoElements);
+        }
+        if strata.width == 0 {
+            return Err(EmptyFaultSpace::ZeroBitWidth);
+        }
+        let index = self.rng.gen_range(0..numel);
+        let bit = match *sampler {
+            BitSampler::Uniform => self.rng.gen_range(0..strata.width),
+            BitSampler::Stratified { critical_mass } => {
+                assert!(
+                    critical_mass > 0.0 && critical_mass < 1.0,
+                    "critical_mass must be in (0, 1), got {critical_mass}"
+                );
+                let u: f64 = self.rng.gen();
+                // Degenerate strata (an empty critical field or a word that
+                // is all critical) collapse to the non-empty stratum.
+                let s = if (u < critical_mass && strata.len(0) > 0) || strata.len(1) == 0 {
+                    0
+                } else {
+                    1
+                };
+                strata.bit_at(s, self.rng.gen_range(0..strata.len(s)))
+            }
+        };
+        Ok((Fault { kind: SiteKind::Value, index, bit }, strata.stratum_of(bit)))
+    }
+
+    /// Samples one value fault per trial seed, each from its own fresh
+    /// RNG — draw-for-draw identical to running the per-trial path once per
+    /// seed, which is what makes batched campaigns byte-identical to serial
+    /// ones.
+    ///
+    /// The fault space is validated up front, so an empty batch (or a batch
+    /// of one) over an empty space reports the same typed
+    /// [`EmptyFaultSpace`] error the per-trial path would.
+    pub fn try_sample_value_fault_batch(
+        seeds: &[u64],
+        numel: usize,
+        sampler: &BitSampler,
+        strata: &BitStrata,
+    ) -> Result<Vec<(Fault, usize)>, EmptyFaultSpace> {
+        if numel == 0 {
+            return Err(EmptyFaultSpace::NoElements);
+        }
+        if strata.width == 0 {
+            return Err(EmptyFaultSpace::ZeroBitWidth);
+        }
+        seeds
+            .iter()
+            .map(|&s| Injector::new(s).try_sample_value_fault_with(numel, sampler, strata))
+            .collect()
+    }
+
+    /// Samples one metadata fault per trial seed, each from its own fresh
+    /// RNG (see [`Injector::try_sample_value_fault_batch`]). The word space
+    /// is validated up front so empty batches report the same typed error
+    /// as the per-trial path.
+    pub fn try_sample_metadata_fault_batch(
+        seeds: &[u64],
+        words: usize,
+        word_width: usize,
+    ) -> Result<Vec<Fault>, EmptyFaultSpace> {
+        if words == 0 || word_width == 0 {
+            return Err(EmptyFaultSpace::NoMetadataWords);
+        }
+        seeds
+            .iter()
+            .map(|&s| Injector::new(s).try_sample_metadata_fault(words, word_width))
+            .collect()
     }
 
     /// Samples a uniform metadata-bit fault given word count and width, or
@@ -278,6 +364,79 @@ mod tests {
                 assert_ne!(rec.old, rec.new);
             }
         }
+    }
+
+    #[test]
+    fn uniform_sampler_reproduces_historical_draws() {
+        // The sampler-aware entry point with `Uniform` must consume the RNG
+        // exactly like the historical path: same seed → same faults.
+        let strata = BitStrata { critical: 1..5, width: 8 };
+        for seed in 0..20 {
+            let mut a = Injector::new(seed);
+            let mut b = Injector::new(seed);
+            for _ in 0..5 {
+                let legacy = a.sample_value_fault(37, 8);
+                let (f, s) =
+                    b.try_sample_value_fault_with(37, &BitSampler::Uniform, &strata).unwrap();
+                assert_eq!(legacy, f);
+                assert_eq!(s, strata.stratum_of(f.bit));
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_sampler_oversamples_critical_bits() {
+        let strata = BitStrata { critical: 1..5, width: 16 }; // 4/16 of the word
+        let sampler = BitSampler::Stratified { critical_mass: 0.75 };
+        let mut inj = Injector::new(11);
+        let mut critical = 0usize;
+        const N: usize = 2000;
+        for _ in 0..N {
+            let (f, s) = inj.try_sample_value_fault_with(64, &sampler, &strata).unwrap();
+            assert!(f.bit < 16);
+            assert_eq!(s, strata.stratum_of(f.bit));
+            critical += usize::from(s == 0);
+        }
+        let frac = critical as f64 / N as f64;
+        assert!(
+            (frac - 0.75).abs() < 0.05,
+            "critical stratum got {frac:.3} of trials, wanted ~0.75 (uniform would give 0.25)"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_per_trial_path() {
+        let strata = BitStrata { critical: 1..4, width: 9 };
+        for seed in [3u64, 17, 92] {
+            let batch =
+                Injector::try_sample_value_fault_batch(&[seed], 23, &BitSampler::Uniform, &strata)
+                    .unwrap();
+            let solo = Injector::new(seed).sample_value_fault(23, 9);
+            assert_eq!(batch, vec![(solo, strata.stratum_of(solo.bit))]);
+            let mbatch = Injector::try_sample_metadata_fault_batch(&[seed], 4, 5).unwrap();
+            let msolo = Injector::new(seed).sample_metadata_fault(4, 5);
+            assert_eq!(mbatch, vec![msolo]);
+        }
+    }
+
+    #[test]
+    fn empty_batches_report_typed_fault_space_errors() {
+        // An empty batch over an empty fault space must surface the same
+        // typed error the per-trial path reports — not silently succeed.
+        let strata = BitStrata { critical: 0..2, width: 8 };
+        let err = Injector::try_sample_value_fault_batch(&[], 0, &BitSampler::Uniform, &strata)
+            .unwrap_err();
+        assert_eq!(err, EmptyFaultSpace::NoElements);
+        let zero_width = BitStrata { critical: 0..0, width: 0 };
+        let err =
+            Injector::try_sample_value_fault_batch(&[1], 5, &BitSampler::Uniform, &zero_width)
+                .unwrap_err();
+        assert_eq!(err, EmptyFaultSpace::ZeroBitWidth);
+        let err = Injector::try_sample_metadata_fault_batch(&[], 0, 5).unwrap_err();
+        assert_eq!(err, EmptyFaultSpace::NoMetadataWords);
+        // A non-empty space with an empty batch is simply zero faults.
+        let ok = Injector::try_sample_value_fault_batch(&[], 5, &BitSampler::Uniform, &strata);
+        assert_eq!(ok.unwrap(), vec![]);
     }
 
     #[test]

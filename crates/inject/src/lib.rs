@@ -34,4 +34,4 @@ mod site;
 pub use flip::{flip_metadata, flip_value, flip_value_multi, MetadataFlip, ValueFlip};
 pub use injector::{EmptyFaultSpace, Fault, Injector};
 pub use range::RangeProfile;
-pub use site::{FormatFamily, InjectionSite, SiteKind};
+pub use site::{BitSampler, BitStrata, FormatFamily, InjectionSite, SiteKind};

@@ -15,7 +15,7 @@
 
 mod stats;
 
-pub use stats::{ConvergenceTrace, RunningStats};
+pub use stats::{ConvergenceTrace, EarlyStop, RunningStats, StratifiedStats};
 
 use tensor::ops;
 use tensor::Tensor;

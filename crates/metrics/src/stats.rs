@@ -116,6 +116,133 @@ impl RunningStats {
     }
 }
 
+/// Statistical early-stopping rule for per-site campaign estimation: stop
+/// sampling a site once the ~95% confidence interval around its running
+/// mean is tight enough. This is how batched campaigns reach "equal
+/// statistical power with fewer trials" — a site whose ΔLoss estimate has
+/// already converged stops consuming forward passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Stop once `ci95_half_width() <= ci_half_width`.
+    pub ci_half_width: f32,
+    /// Never stop before this many observations — guards against a lucky
+    /// low-variance prefix freezing the estimate too early.
+    pub min_trials: u64,
+}
+
+impl EarlyStop {
+    /// Default minimum trial count before a stop decision is allowed.
+    pub const DEFAULT_MIN_TRIALS: u64 = 20;
+
+    /// A rule that stops at the given CI half-width, with the default
+    /// minimum trial count.
+    pub fn new(ci_half_width: f32) -> Self {
+        assert!(ci_half_width > 0.0, "CI half-width threshold must be positive");
+        EarlyStop { ci_half_width, min_trials: Self::DEFAULT_MIN_TRIALS }
+    }
+
+    /// Overrides the minimum trial count.
+    pub fn with_min_trials(mut self, n: u64) -> Self {
+        self.min_trials = n;
+        self
+    }
+
+    /// Whether an estimate with `count` observations and the given CI
+    /// half-width has converged under this rule.
+    pub fn converged(&self, count: u64, ci95_half_width: f32) -> bool {
+        count >= self.min_trials && ci95_half_width <= self.ci_half_width
+    }
+
+    /// Stop decision for a plain (uniformly sampled) accumulator.
+    pub fn should_stop(&self, stats: &RunningStats) -> bool {
+        self.converged(stats.count(), stats.ci95_half_width())
+    }
+
+    /// Stop decision for a stratified estimator.
+    pub fn should_stop_stratified(&self, stats: &StratifiedStats) -> bool {
+        self.converged(stats.count(), stats.ci95_half_width())
+    }
+}
+
+/// Unbiased population estimator over stratified samples.
+///
+/// Importance sampling oversamples high-impact strata (e.g. exponent bits);
+/// recombining per-stratum means with the strata's *population* weights
+/// recovers an unbiased estimate of the uniform-population mean:
+/// `mean = Σ w_h · mean_h`, `SE² = Σ w_h² · var_h / n_h`.
+///
+/// A stratum with observations but zero weight contributes nothing; a
+/// stratum with weight but no observations contributes nothing either (its
+/// term is dropped — the estimate is then conditional on the sampled
+/// strata, which early stopping's minimum-trial guard makes unlikely to
+/// matter in practice).
+#[derive(Debug, Clone)]
+pub struct StratifiedStats {
+    strata: Vec<(f64, RunningStats)>,
+}
+
+impl StratifiedStats {
+    /// Creates an estimator over strata with the given population weights
+    /// (fractions of the population each stratum covers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, has a negative entry, or does not sum
+    /// to ~1.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one stratum");
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|&w| w >= 0.0) && (sum - 1.0).abs() < 1e-9,
+            "population weights must be non-negative and sum to 1, got {weights:?}"
+        );
+        StratifiedStats { strata: weights.iter().map(|&w| (w, RunningStats::new())).collect() }
+    }
+
+    /// Adds one observation to stratum `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn push(&mut self, s: usize, x: f32) {
+        self.strata[s].1.push(x);
+    }
+
+    /// The per-stratum accumulator.
+    pub fn stratum(&self, s: usize) -> &RunningStats {
+        &self.strata[s].1
+    }
+
+    /// Total observations across strata.
+    pub fn count(&self) -> u64 {
+        self.strata.iter().map(|(_, s)| s.count()).sum()
+    }
+
+    /// The weighted population mean `Σ w_h · mean_h`.
+    pub fn mean(&self) -> f32 {
+        self.strata
+            .iter()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(w, s)| w * s.mean() as f64)
+            .sum::<f64>() as f32
+    }
+
+    /// Standard error of the stratified mean, `√(Σ w_h² · var_h / n_h)`.
+    pub fn std_error(&self) -> f32 {
+        self.strata
+            .iter()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(w, s)| w * w * (s.variance() as f64) / s.count() as f64)
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Half-width of the ~95% confidence interval (1.96·SE).
+    pub fn ci95_half_width(&self) -> f32 {
+        1.96 * self.std_error()
+    }
+}
+
 /// Tracks how a campaign's running mean converges as injections accumulate
 /// — used to reproduce the paper's claim that ΔLoss converges faster than
 /// mismatch counting.
@@ -297,6 +424,74 @@ mod tests {
         let mut inf = RunningStats::new();
         inf.push(f32::INFINITY);
         assert_eq!(inf.count(), 1);
+    }
+
+    #[test]
+    fn early_stop_requires_min_trials_and_tight_ci() {
+        let rule = EarlyStop::new(0.1).with_min_trials(10);
+        let mut s = RunningStats::new();
+        for _ in 0..5 {
+            s.push(1.0);
+        }
+        // CI is already 0 (constant data) but the trial floor blocks it.
+        assert!(!rule.should_stop(&s));
+        for _ in 0..5 {
+            s.push(1.0);
+        }
+        assert!(rule.should_stop(&s));
+        // Wide-CI data never stops under a tight threshold.
+        let mut noisy = RunningStats::new();
+        for i in 0..12 {
+            noisy.push(if i % 2 == 0 { 100.0 } else { -100.0 });
+        }
+        assert!(!rule.should_stop(&noisy));
+    }
+
+    #[test]
+    fn stratified_mean_is_unbiased_under_oversampling() {
+        // Population: stratum 0 (weight 1/4) has mean 8, stratum 1 (weight
+        // 3/4) has mean 0. True population mean = 2. Oversample stratum 0
+        // 4:1 — the naive pooled mean would be badly biased; the weighted
+        // estimator must not be.
+        let mut s = StratifiedStats::new(&[0.25, 0.75]);
+        let mut pooled = RunningStats::new();
+        for _ in 0..400 {
+            s.push(0, 8.0);
+            pooled.push(8.0);
+        }
+        for _ in 0..100 {
+            s.push(1, 0.0);
+            pooled.push(0.0);
+        }
+        assert!((s.mean() - 2.0).abs() < 1e-6, "stratified mean {}", s.mean());
+        assert!((pooled.mean() - 6.4).abs() < 1e-6, "pooled mean is biased by design");
+        assert_eq!(s.count(), 500);
+        // Constant strata → zero variance → zero CI width.
+        assert_eq!(s.ci95_half_width(), 0.0);
+        let rule = EarlyStop::new(0.05);
+        assert!(rule.should_stop_stratified(&s));
+    }
+
+    #[test]
+    fn stratified_std_error_matches_formula() {
+        let mut s = StratifiedStats::new(&[0.5, 0.5]);
+        for x in [1.0f32, 2.0, 3.0] {
+            s.push(0, x);
+        }
+        for x in [10.0f32, 14.0] {
+            s.push(1, x);
+        }
+        let v0 = s.stratum(0).variance() as f64;
+        let v1 = s.stratum(1).variance() as f64;
+        let expect = (0.25 * v0 / 3.0 + 0.25 * v1 / 2.0).sqrt() as f32;
+        assert!((s.std_error() - expect).abs() < 1e-7);
+        assert!((s.ci95_half_width() - 1.96 * expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn stratified_weights_must_sum_to_one() {
+        StratifiedStats::new(&[0.5, 0.2]);
     }
 
     #[test]

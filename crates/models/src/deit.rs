@@ -111,15 +111,37 @@ impl VisionTransformer {
 
 impl Module for VisionTransformer {
     fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
-        let mut tokens = self.patch_embed.forward(x, ctx); // [B, T, D]
-        for b in &self.blocks {
-            tokens = b.forward(&tokens, ctx);
+        // The segment chain verbatim — see `Module::forward_segment`'s
+        // bit-identity contract.
+        let mut h = x.clone();
+        for s in 0..self.num_segments() {
+            h = self.forward_segment(s, &h, ctx);
         }
-        let tokens = self.norm.forward(&tokens, ctx);
-        // Mean-pool over the token dimension: [B, T, D] → [B, D].
-        let dims = tokens.shape().dims().to_vec();
-        let pooled = tokens.mean_axes_keepdim(&[1]).reshape([dims[0], dims[2]]);
-        self.head.forward(&pooled, ctx)
+        h
+    }
+
+    /// Patch embedding, one segment per transformer block, then
+    /// norm + pool + head. Attention mixes tokens *within* a block, so a
+    /// block boundary's single `[B, T, D]` tensor is a valid checkpoint
+    /// cut.
+    fn num_segments(&self) -> usize {
+        self.blocks.len() + 2
+    }
+
+    fn forward_segment(&self, segment: usize, x: &Var, ctx: &mut Ctx) -> Var {
+        let n = self.blocks.len();
+        if segment == 0 {
+            self.patch_embed.forward(x, ctx) // [B, T, D]
+        } else if segment <= n {
+            self.blocks[segment - 1].forward(x, ctx)
+        } else {
+            assert_eq!(segment, n + 1, "VisionTransformer has {} segments", n + 2);
+            let tokens = self.norm.forward(x, ctx);
+            // Mean-pool over the token dimension: [B, T, D] → [B, D].
+            let dims = tokens.shape().dims().to_vec();
+            let pooled = tokens.mean_axes_keepdim(&[1]).reshape([dims[0], dims[2]]);
+            self.head.forward(&pooled, ctx)
+        }
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
@@ -170,6 +192,31 @@ mod tests {
         let tiny = VisionTransformer::new(DeitConfig::deit_tiny(32, 10), &mut rng);
         let base = VisionTransformer::new(DeitConfig::deit_base(32, 10), &mut rng);
         assert!(base.param_count() > tiny.param_count() * 2);
+    }
+
+    #[test]
+    fn segments_chain_bit_identically_to_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = VisionTransformer::new(DeitConfig::tiny_test(8, 3), &mut rng);
+        assert_eq!(net.num_segments(), net.blocks.len() + 2);
+        let x = Tensor::randn([2, 3, 8, 8], &mut rng);
+
+        let mut ctx = Ctx::inference();
+        let xv = ctx.input(x.clone());
+        let whole = net.forward(&xv, &mut ctx);
+        let layers = ctx.layers_seen();
+
+        let mut seg_ctx = Ctx::inference();
+        let mut h = seg_ctx.input(x);
+        for s in 0..net.num_segments() {
+            h = net.forward_segment(s, &h, &mut seg_ctx);
+        }
+        assert_eq!(seg_ctx.layers_seen(), layers, "segment chain must number layers identically");
+        let (a, b) = (whole.value(), h.value());
+        assert_eq!(a.shape().dims(), b.shape().dims());
+        for (p, q) in a.as_slice().iter().zip(b.as_slice().iter()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "segment chain must be bit-identical");
+        }
     }
 
     #[test]

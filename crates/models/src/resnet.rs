@@ -215,13 +215,35 @@ impl ResNet {
 
 impl Module for ResNet {
     fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var {
-        let (conv, bn, relu) = &self.stem;
-        let mut h = relu.forward(&bn.forward(&conv.forward(x, ctx), ctx), ctx);
-        for b in &self.blocks {
-            h = b.forward(&h, ctx);
+        // Exactly the segment chain, so the checkpoint/replay contract of
+        // `forward_segment` (bit-identical outputs and layer numbering)
+        // holds by construction.
+        let mut h = x.clone();
+        for s in 0..self.num_segments() {
+            h = self.forward_segment(s, &h, ctx);
         }
-        let pooled = self.gap.forward(&h, ctx);
-        self.head.forward(&pooled, ctx)
+        h
+    }
+
+    /// Stem, one segment per residual block, then pool + head. Residual
+    /// skip connections live entirely inside a block, so block boundaries
+    /// are valid checkpoint cuts: the block input is the only live tensor.
+    fn num_segments(&self) -> usize {
+        self.blocks.len() + 2
+    }
+
+    fn forward_segment(&self, segment: usize, x: &Var, ctx: &mut Ctx) -> Var {
+        let n = self.blocks.len();
+        if segment == 0 {
+            let (conv, bn, relu) = &self.stem;
+            relu.forward(&bn.forward(&conv.forward(x, ctx), ctx), ctx)
+        } else if segment <= n {
+            self.blocks[segment - 1].forward(x, ctx)
+        } else {
+            assert_eq!(segment, n + 1, "ResNet has {} segments", n + 2);
+            let pooled = self.gap.forward(x, ctx);
+            self.head.forward(&pooled, ctx)
+        }
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
@@ -281,6 +303,31 @@ mod tests {
         let small = ResNet::new(ResNetConfig::resnet18(4, 10), &mut rng);
         let large = ResNet::new(ResNetConfig::resnet18(8, 10), &mut rng);
         assert!(large.param_count() > small.param_count() * 3);
+    }
+
+    #[test]
+    fn segments_chain_bit_identically_to_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = ResNet::new(ResNetConfig::resnet18(4, 10), &mut rng);
+        assert_eq!(net.num_segments(), net.blocks.len() + 2);
+        let x = Tensor::randn([2, 3, 16, 16], &mut rng);
+
+        let mut ctx = Ctx::inference();
+        let xv = ctx.input(x.clone());
+        let whole = net.forward(&xv, &mut ctx);
+        let layers = ctx.layers_seen();
+
+        let mut seg_ctx = Ctx::inference();
+        let mut h = seg_ctx.input(x);
+        for s in 0..net.num_segments() {
+            h = net.forward_segment(s, &h, &mut seg_ctx);
+        }
+        assert_eq!(seg_ctx.layers_seen(), layers, "segment chain must number layers identically");
+        let (a, b) = (whole.value(), h.value());
+        assert_eq!(a.shape().dims(), b.shape().dims());
+        for (p, q) in a.as_slice().iter().zip(b.as_slice().iter()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "segment chain must be bit-identical");
+        }
     }
 
     #[test]

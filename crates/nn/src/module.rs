@@ -60,6 +60,29 @@ pub trait ForwardHook: Send + Sync {
     /// Observes (and optionally replaces) the output of `layer`.
     fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor>;
 
+    /// Batch-aware variant of [`ForwardHook::on_output`], called when the
+    /// forward pass carries `replicas` independent trials packed along the
+    /// leading (batch) dimension (see [`Ctx::set_replicas`]).
+    ///
+    /// `output`'s leading dimension is `replicas ×` the per-trial batch;
+    /// replica `r` occupies the contiguous row range
+    /// `r·(d0/replicas) .. (r+1)·(d0/replicas)`. Hooks whose transform is
+    /// *not* per-element (anything that derives tensor-wide state such as
+    /// quantisation scales or shared exponents) must override this and
+    /// process each replica slice independently, or packed trials would
+    /// observe each other through that shared state. The default ignores
+    /// the packing and treats the output as one tensor, which is correct
+    /// only for per-element transforms.
+    fn on_output_batched(
+        &self,
+        layer: &LayerInfo,
+        output: &Tensor,
+        replicas: usize,
+    ) -> Option<Tensor> {
+        let _ = replicas;
+        self.on_output(layer, output)
+    }
+
     /// Which layer kinds this hook applies to. Defaults to the paper's
     /// default instrumentation set: CONV and LINEAR.
     fn applies_to(&self, kind: LayerKind) -> bool {
@@ -211,6 +234,7 @@ pub struct Ctx {
     layer_index: usize,
     bindings: Vec<(Param, Var)>,
     training: bool,
+    replicas: usize,
 }
 
 impl Ctx {
@@ -222,6 +246,7 @@ impl Ctx {
             layer_index: 0,
             bindings: Vec::new(),
             training: false,
+            replicas: 1,
         }
     }
 
@@ -233,7 +258,35 @@ impl Ctx {
             layer_index: 0,
             bindings: Vec::new(),
             training: true,
+            replicas: 1,
         }
+    }
+
+    /// Starts layer numbering at `index` instead of 0.
+    ///
+    /// Used by checkpoint/replay execution: a pass that resumes from a
+    /// cached mid-network activation (see [`Module::forward_segment`])
+    /// must hand hooks the same layer indices a full forward pass would.
+    pub fn set_base_layer(&mut self, index: usize) {
+        self.layer_index = index;
+    }
+
+    /// Declares that the forward pass packs `n` independent trials along
+    /// the leading batch dimension. Hooks receive this via
+    /// [`ForwardHook::on_output_batched`] so per-tensor transforms can be
+    /// applied per replica slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_replicas(&mut self, n: usize) {
+        assert!(n >= 1, "a forward pass carries at least one replica");
+        self.replicas = n;
+    }
+
+    /// Number of packed trials in this pass (1 = a plain forward).
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// Registers a forward hook.
@@ -293,11 +346,17 @@ impl Ctx {
         if applicable.is_empty() {
             return out;
         }
+        let replicas = self.replicas;
         out.apply_ste(move |t| {
             let mut cur: Option<Tensor> = None;
             for h in &applicable {
                 let view = cur.as_ref().unwrap_or(t);
-                if let Some(replaced) = h.on_output(&info, view) {
+                let replaced = if replicas > 1 {
+                    h.on_output_batched(&info, view, replicas)
+                } else {
+                    h.on_output(&info, view)
+                };
+                if let Some(replaced) = replaced {
                     cur = Some(replaced);
                 }
             }
@@ -326,6 +385,38 @@ impl fmt::Debug for Ctx {
 pub trait Module: Send + Sync {
     /// Computes the module's output.
     fn forward(&self, x: &Var, ctx: &mut Ctx) -> Var;
+
+    /// Number of checkpointable **segments** the forward pass decomposes
+    /// into. Defaults to 1 (the whole model is one segment).
+    ///
+    /// Segments are the unit of activation checkpointing in batched
+    /// injection campaigns: a model that overrides this (together with
+    /// [`Module::forward_segment`]) promises that no tensor flows across a
+    /// segment boundary except the segment's single input — e.g. a ResNet
+    /// segments at residual-block granularity, never *inside* a block
+    /// where the skip connection is live. A campaign can then cache the
+    /// clean activation entering a segment and replay only the suffix.
+    fn num_segments(&self) -> usize {
+        1
+    }
+
+    /// Runs one segment of the forward pass.
+    ///
+    /// **Contract:** chaining `forward_segment(0) … forward_segment(n-1)`
+    /// through the same `ctx` must be bit-identical to [`Module::forward`]
+    /// — identical outputs *and* identical hook-point layer numbering.
+    /// Models that override [`Module::num_segments`] should implement
+    /// `forward` as exactly that chain so the contract holds by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// The default (single-segment) implementation panics unless
+    /// `segment == 0`.
+    fn forward_segment(&self, segment: usize, x: &Var, ctx: &mut Ctx) -> Var {
+        assert_eq!(segment, 0, "default Module has exactly one segment");
+        self.forward(x, ctx)
+    }
 
     /// Visits every parameter (used by optimizers, weight I/O, and weight
     /// quantisation).
@@ -436,6 +527,108 @@ mod tests {
         ctx.hook_output(LayerKind::Linear, "b", x.clone());
         ctx.hook_output(LayerKind::Conv, "c", x);
         assert_eq!(ctx.layers_seen(), 3);
+    }
+
+    /// Doubles each replica slice's values by `1 + replica index` — a
+    /// transform that depends on the packing, to verify dispatch.
+    struct ReplicaHook;
+    impl ForwardHook for ReplicaHook {
+        fn on_output(&self, _l: &LayerInfo, out: &Tensor) -> Option<Tensor> {
+            Some(out.map(|x| x * 10.0))
+        }
+        fn on_output_batched(
+            &self,
+            _l: &LayerInfo,
+            out: &Tensor,
+            replicas: usize,
+        ) -> Option<Tensor> {
+            let rows = out.numel() / replicas;
+            let mut t = out.clone();
+            for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+                *v *= (1 + i / rows) as f32;
+            }
+            Some(t)
+        }
+    }
+
+    #[test]
+    fn batched_hook_dispatch_depends_on_replicas() {
+        // replicas = 1 → per-tensor path.
+        let mut ctx = Ctx::inference();
+        ctx.add_hook(Arc::new(ReplicaHook));
+        let x = ctx.input(Tensor::ones([4]));
+        let y = ctx.hook_output(LayerKind::Conv, "c", x);
+        assert_eq!(y.value().as_slice(), &[10.0; 4]);
+        // replicas = 2 → per-replica path (second replica scaled by 2).
+        let mut ctx = Ctx::inference();
+        ctx.set_replicas(2);
+        assert_eq!(ctx.replicas(), 2);
+        ctx.add_hook(Arc::new(ReplicaHook));
+        let x = ctx.input(Tensor::ones([4]));
+        let y = ctx.hook_output(LayerKind::Conv, "c", x);
+        assert_eq!(y.value().as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn default_batched_hook_falls_back_to_per_tensor() {
+        let mut ctx = Ctx::inference();
+        ctx.set_replicas(3);
+        ctx.add_hook(Arc::new(DoubleHook)); // no batched override
+        let x = ctx.input(Tensor::ones([6]));
+        let y = ctx.hook_output(LayerKind::Conv, "c", x);
+        assert_eq!(y.value().as_slice(), &[2.0; 6]);
+    }
+
+    #[test]
+    fn base_layer_offsets_numbering() {
+        let mut ctx = Ctx::inference();
+        ctx.set_base_layer(5);
+        struct IndexProbe(std::sync::Mutex<Vec<usize>>);
+        impl ForwardHook for IndexProbe {
+            fn on_output(&self, l: &LayerInfo, _o: &Tensor) -> Option<Tensor> {
+                self.0.lock().unwrap().push(l.index);
+                None
+            }
+        }
+        let probe = Arc::new(IndexProbe(std::sync::Mutex::new(Vec::new())));
+        ctx.add_hook(probe.clone());
+        let x = ctx.input(Tensor::zeros([1]));
+        ctx.hook_output(LayerKind::Conv, "a", x.clone());
+        ctx.hook_output(LayerKind::Conv, "b", x);
+        assert_eq!(*probe.0.lock().unwrap(), vec![5, 6]);
+        assert_eq!(ctx.layers_seen(), 7);
+    }
+
+    #[test]
+    fn default_module_is_single_segment() {
+        struct Id;
+        impl Module for Id {
+            fn forward(&self, x: &Var, _ctx: &mut Ctx) -> Var {
+                x.clone()
+            }
+            fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+        }
+        let m = Id;
+        assert_eq!(m.num_segments(), 1);
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::ones([2]));
+        let y = m.forward_segment(0, &x, &mut ctx);
+        assert_eq!(y.value().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one segment")]
+    fn default_module_rejects_segment_one() {
+        struct Id;
+        impl Module for Id {
+            fn forward(&self, x: &Var, _ctx: &mut Ctx) -> Var {
+                x.clone()
+            }
+            fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+        }
+        let mut ctx = Ctx::inference();
+        let x = ctx.input(Tensor::ones([2]));
+        Id.forward_segment(1, &x, &mut ctx);
     }
 
     #[test]

@@ -267,6 +267,26 @@ pub fn concat(parts: &[&Tensor], dim: usize) -> Tensor {
     Tensor::from_vec(out, out_dims)
 }
 
+/// Repeats `x` `n` times along dimension 0: `[B, ...] → [n·B, ...]`, with
+/// copy `r` occupying rows `r·B..(r+1)·B` — the contiguous replica layout
+/// batched fault trials pack into one forward pass.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `x` has no dimensions.
+pub fn tile_batch(x: &Tensor, n: usize) -> Tensor {
+    assert!(n >= 1, "tile_batch needs at least one copy");
+    assert!(x.ndim() >= 1, "tile_batch needs a batch dimension");
+    let src = x.as_slice();
+    let mut out = Vec::with_capacity(src.len() * n);
+    for _ in 0..n {
+        out.extend_from_slice(src);
+    }
+    let mut dims = x.dims().to_vec();
+    dims[0] *= n;
+    Tensor::from_vec(out, dims)
+}
+
 /// Extracts `x[.., start..start+len, ..]` along dimension `dim`.
 ///
 /// # Panics

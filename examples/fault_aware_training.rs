@@ -47,7 +47,13 @@ fn main() {
 
     let ge = GoldenEye::parse("int:8").expect("valid spec");
     let (x, y) = data.head_batch(16);
-    let cfg = CampaignConfig { injections_per_layer: 40, kind: SiteKind::Value, seed: 7, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 40,
+        kind: SiteKind::Value,
+        seed: 7,
+        jobs: 1,
+        ..Default::default()
+    };
     println!("\n{:<16} {:>12} {:>16}", "model", "accuracy", "avg dLoss (EI)");
     for (name, model) in [("conventional", &clean), ("fault-aware", &hardened)] {
         let acc = goldeneye::evaluate_accuracy(&ge, model, &data, 64, 32);

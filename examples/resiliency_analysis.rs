@@ -31,7 +31,13 @@ fn main() {
             &model,
             &x,
             &y,
-            &CampaignConfig { injections_per_layer: 25, kind: SiteKind::Value, seed: 1, jobs: 1 },
+            &CampaignConfig {
+                injections_per_layer: 25,
+                kind: SiteKind::Value,
+                seed: 1,
+                jobs: 1,
+                ..Default::default()
+            },
         );
         let meta = run_campaign(
             &ge,
@@ -43,6 +49,7 @@ fn main() {
                 kind: SiteKind::Metadata,
                 seed: 1,
                 jobs: 1,
+                ..Default::default()
             },
         );
         for (v, m) in value.layers.iter().zip(&meta.layers) {

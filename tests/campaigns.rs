@@ -67,14 +67,26 @@ fn bfp_metadata_campaign_dominates_value_campaign() {
         &model,
         &x,
         &y,
-        &CampaignConfig { injections_per_layer: 20, kind: SiteKind::Value, seed: 5, jobs: 1 },
+        &CampaignConfig {
+            injections_per_layer: 20,
+            kind: SiteKind::Value,
+            seed: 5,
+            jobs: 1,
+            ..Default::default()
+        },
     );
     let meta = run_campaign(
         &ge,
         &model,
         &x,
         &y,
-        &CampaignConfig { injections_per_layer: 20, kind: SiteKind::Metadata, seed: 5, jobs: 1 },
+        &CampaignConfig {
+            injections_per_layer: 20,
+            kind: SiteKind::Metadata,
+            seed: 5,
+            jobs: 1,
+            ..Default::default()
+        },
     );
     assert!(meta.avg_delta_loss() > value.avg_delta_loss());
 }
@@ -90,8 +102,13 @@ fn afp_average_resilience_beats_bfp() {
     let (model, x, y) = setup();
     let bfp = GoldenEye::parse("bfp:e8m7:tensor").unwrap();
     let afp = GoldenEye::parse("afp:e5m2").unwrap();
-    let cfg =
-        CampaignConfig { injections_per_layer: 25, kind: SiteKind::Metadata, seed: 2, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 25,
+        kind: SiteKind::Metadata,
+        seed: 2,
+        jobs: 1,
+        ..Default::default()
+    };
     let bfp_meta = run_campaign(&bfp, &model, &x, &y, &cfg);
     let afp_meta = run_campaign(&afp, &model, &x, &y, &cfg);
     assert!(
@@ -111,7 +128,13 @@ fn range_detector_reduces_delta_loss() {
     let plain = GoldenEye::parse("fp16").unwrap();
     let guarded = GoldenEye::parse("fp16").unwrap().with_range_detector(true);
     guarded.profile_ranges(&model, std::slice::from_ref(&x));
-    let cfg = CampaignConfig { injections_per_layer: 30, kind: SiteKind::Value, seed: 8, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 30,
+        kind: SiteKind::Value,
+        seed: 8,
+        jobs: 1,
+        ..Default::default()
+    };
     let unguarded_result = run_campaign(&plain, &model, &x, &y, &cfg);
     let guarded_result = run_campaign(&guarded, &model, &x, &y, &cfg);
     assert!(
@@ -143,7 +166,13 @@ fn campaign_stats_match_manual_replication() {
     // same seeds (full determinism across the stack).
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("int:8").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 100, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 4,
+        kind: SiteKind::Value,
+        seed: 100,
+        jobs: 1,
+        ..Default::default()
+    };
     let result = run_campaign(&ge, &model, &x, &y, &cfg);
     let golden = ge.run(&model, x.clone());
     let layer0 = &result.layers[0];
@@ -155,4 +184,55 @@ fn campaign_stats_match_manual_replication() {
         manual.push(compare_outcomes(&golden, &faulty, &y).delta_loss);
     }
     assert_eq!(layer0.delta_loss.mean(), manual.mean());
+}
+
+#[test]
+fn batch_injector_edge_cases_match_per_trial_typed_errors() {
+    // The batched sampling APIs must report the same typed
+    // `EmptyFaultSpace` errors as the per-trial path — for every batch
+    // size, including one — instead of panicking or silently yielding
+    // nothing.
+    use inject::{BitSampler, BitStrata, EmptyFaultSpace, Injector};
+    let fmt = formats::FloatingPoint::new(4, 3);
+    let strata = BitStrata::for_format(&fmt);
+    for seeds in [&[1u64][..], &[1, 2, 3][..]] {
+        assert_eq!(
+            Injector::try_sample_value_fault_batch(seeds, 0, &BitSampler::Uniform, &strata),
+            Err(EmptyFaultSpace::NoElements),
+            "batch of {} over an empty tensor",
+            seeds.len()
+        );
+        assert_eq!(
+            Injector::try_sample_metadata_fault_batch(seeds, 0, 8),
+            Err(EmptyFaultSpace::NoMetadataWords),
+            "metadata batch of {} with no words",
+            seeds.len()
+        );
+    }
+    // Batch of one must agree with the serial sampler, error or not.
+    let serial = Injector::new(5).try_sample_value_fault(0, 8);
+    let batch = Injector::try_sample_value_fault_batch(&[5], 0, &BitSampler::Uniform, &strata);
+    assert_eq!(serial.unwrap_err(), batch.unwrap_err());
+    // An empty *batch* over a valid space is not an error — there is
+    // simply nothing to sample.
+    let empty = Injector::try_sample_value_fault_batch(&[], 100, &BitSampler::Uniform, &strata);
+    assert_eq!(empty.unwrap().len(), 0);
+}
+
+#[test]
+fn batch_size_one_campaign_equals_per_trial_campaign() {
+    // `trials_per_batch: 1` must take the historical per-trial path and
+    // any N > planned trials must clip, not crash.
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    let base = CampaignConfig {
+        injections_per_layer: 2,
+        kind: SiteKind::Value,
+        seed: 51,
+        jobs: 1,
+        ..Default::default()
+    };
+    let per_trial = run_campaign(&ge, &model, &x, &y, &base.clone().with_trials_per_batch(1));
+    let oversized = run_campaign(&ge, &model, &x, &y, &base.clone().with_trials_per_batch(64));
+    assert!(per_trial.canonical_trial_jsonl() == oversized.canonical_trial_jsonl());
 }

@@ -36,7 +36,13 @@ fn campaign_emits_validatable_trial_events_and_spans() {
     let _gate = serialize_tests();
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("fp:e4m3").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 3, kind: SiteKind::Value, seed: 7, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 3,
+        kind: SiteKind::Value,
+        seed: 7,
+        jobs: 1,
+        ..Default::default()
+    };
 
     trace::set_level(Level::Debug); // spans emit at Debug
     trace::capture_events(true);
@@ -77,7 +83,13 @@ fn campaign_jsonl_stream_passes_validate_trace() {
     let _gate = serialize_tests();
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("int:8").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 2, kind: SiteKind::Value, seed: 9, jobs: 2 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 2,
+        kind: SiteKind::Value,
+        seed: 9,
+        jobs: 2,
+        ..Default::default()
+    };
 
     trace::capture_events(true);
     let _ = trace::take_events();
@@ -108,8 +120,13 @@ fn campaign_manifest_round_trips_through_json() {
     let _gate = serialize_tests();
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("bfp:e8m7:tensor").unwrap();
-    let cfg =
-        CampaignConfig { injections_per_layer: 2, kind: SiteKind::Metadata, seed: 11, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 2,
+        kind: SiteKind::Metadata,
+        seed: 11,
+        jobs: 1,
+        ..Default::default()
+    };
     let result = run_campaign(&ge, &model, &x, &y, &cfg);
     let mut manifest = result.to_manifest("test campaign", &cfg, 0.25);
     manifest.snapshot_counters();

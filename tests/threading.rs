@@ -48,7 +48,13 @@ fn assert_bit_identical(a: &CampaignResult, b: &CampaignResult) {
 fn activation_campaign_is_deterministic_across_jobs() {
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("fp:e4m3").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 6, kind: SiteKind::Value, seed: 41, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 6,
+        kind: SiteKind::Value,
+        seed: 41,
+        jobs: 1,
+        ..Default::default()
+    };
     let serial = run_campaign(&ge, &model, &x, &y, &cfg);
     let parallel = run_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
     assert_bit_identical(&serial, &parallel);
@@ -62,7 +68,13 @@ fn activation_campaign_is_deterministic_across_jobs() {
 fn per_trial_jsonl_is_byte_identical_across_jobs() {
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("fp:e4m3").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 5, kind: SiteKind::Value, seed: 29, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 5,
+        kind: SiteKind::Value,
+        seed: 29,
+        jobs: 1,
+        ..Default::default()
+    };
     let serial = run_campaign(&ge, &model, &x, &y, &cfg);
     let parallel = run_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
     let a = serial.canonical_trial_jsonl();
@@ -81,11 +93,73 @@ fn per_trial_jsonl_is_byte_identical_across_jobs() {
     );
 }
 
+/// The batched checkpoint/replay engine must emit the exact same
+/// canonical per-trial JSONL as the serial `--jobs 1` per-trial engine,
+/// for every combination of batch size and worker-thread count — the
+/// contract that lets batched campaigns substitute for serial ones.
+#[test]
+fn batched_campaign_jsonl_is_byte_identical_across_batch_sizes_and_jobs() {
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    let base = CampaignConfig {
+        injections_per_layer: 6,
+        kind: SiteKind::Value,
+        seed: 43,
+        jobs: 1,
+        ..Default::default()
+    };
+    let serial = run_campaign(&ge, &model, &x, &y, &base);
+    let reference = serial.canonical_trial_jsonl();
+    assert!(!reference.is_empty());
+    for batch in [0usize, 2, 4, 6] {
+        for jobs in [1usize, 2, 4] {
+            let cfg = base.clone().with_trials_per_batch(batch).with_jobs(jobs);
+            let run = run_campaign(&ge, &model, &x, &y, &cfg);
+            assert!(
+                run.canonical_trial_jsonl() == reference,
+                "batch {batch} jobs {jobs}: canonical JSONL diverged from serial per-trial run"
+            );
+            assert_bit_identical(&serial, &run);
+        }
+    }
+}
+
+/// Same contract for metadata-site faults (batched replicas slice the
+/// packed tensor, so per-replica metadata words must address identically
+/// to a serial [B, ...] run).
+#[test]
+fn batched_metadata_campaign_jsonl_matches_serial_across_jobs() {
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("bfp:e8m7:tensor").unwrap();
+    let base = CampaignConfig {
+        injections_per_layer: 4,
+        kind: SiteKind::Metadata,
+        seed: 47,
+        jobs: 1,
+        ..Default::default()
+    };
+    let reference = run_campaign(&ge, &model, &x, &y, &base).canonical_trial_jsonl();
+    for (batch, jobs) in [(3usize, 2usize), (4, 4)] {
+        let cfg = base.clone().with_trials_per_batch(batch).with_jobs(jobs);
+        let run = run_campaign(&ge, &model, &x, &y, &cfg);
+        assert!(
+            run.canonical_trial_jsonl() == reference,
+            "metadata batch {batch} jobs {jobs}: JSONL diverged"
+        );
+    }
+}
+
 #[test]
 fn weight_campaign_trial_jsonl_is_byte_identical_across_jobs() {
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("int:8").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 4, kind: SiteKind::Value, seed: 31, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 4,
+        kind: SiteKind::Value,
+        seed: 31,
+        jobs: 1,
+        ..Default::default()
+    };
     let serial = run_weight_campaign(&ge, &model, &x, &y, &cfg);
     let parallel = run_weight_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
     assert!(
@@ -98,7 +172,13 @@ fn weight_campaign_trial_jsonl_is_byte_identical_across_jobs() {
 fn weight_campaign_is_deterministic_across_jobs() {
     let (model, x, y) = setup();
     let ge = GoldenEye::parse("int:8").unwrap();
-    let cfg = CampaignConfig { injections_per_layer: 6, kind: SiteKind::Value, seed: 42, jobs: 1 };
+    let cfg = CampaignConfig {
+        injections_per_layer: 6,
+        kind: SiteKind::Value,
+        seed: 42,
+        jobs: 1,
+        ..Default::default()
+    };
     let serial = run_weight_campaign(&ge, &model, &x, &y, &cfg);
     let parallel = run_weight_campaign(&ge, &model, &x, &y, &cfg.clone().with_jobs(4));
     assert_bit_identical(&serial, &parallel);
