@@ -47,8 +47,30 @@ fn best_time(
         .fold(f64::INFINITY, f64::min)
 }
 
+/// The tracing-overhead measurement: best-of-`reps` serial campaign with
+/// the event layer recording vs. off. Returns `(off_s, on_s, events)`.
+fn measure_overhead(
+    reps: usize,
+    ge: &GoldenEye,
+    model: &dyn nn::Module,
+    x: &tensor::Tensor,
+    y: &[usize],
+    cfg: &CampaignConfig,
+) -> (f64, f64, usize) {
+    let off = best_time(reps, ge, model, x, y, cfg);
+    trace::capture_events(true);
+    let on = best_time(reps, ge, model, x, y, cfg);
+    trace::capture_events(false);
+    let events = trace::take_events().len();
+    (off, on, events)
+}
+
+/// The CI budget: traced wall-clock within 2% of untraced.
+const OVERHEAD_BUDGET: f64 = 0.02;
+
 fn main() {
     let args = BenchArgs::parse();
+    let overhead_only = std::env::args().any(|a| a == "--overhead-only");
     let n = args.injections_per_layer(20);
     let max_jobs = if args.jobs <= 1 {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
@@ -58,6 +80,40 @@ fn main() {
     let (model, _) = prepare_model(ModelKind::Resnet18);
     let (x, y) = test_set().head_batch(8);
     let ge = GoldenEye::parse("fp:e4m3").expect("valid spec");
+
+    if overhead_only {
+        // CI enforcement mode (`trace-overhead` job): measure only the
+        // tracing overhead and fail the process when it blows the budget.
+        let cfg = CampaignConfig {
+            injections_per_layer: n,
+            kind: SiteKind::Value,
+            seed: 17,
+            jobs: 1,
+            ..Default::default()
+        };
+        let (off, on, events) = measure_overhead(3, &ge, model.as_ref(), &x, &y, &cfg);
+        let overhead = on / off - 1.0;
+        let over = overhead > OVERHEAD_BUDGET;
+        println!(
+            "Tracing overhead (serial, {n} inj/layer): off {off:.3}s, on {on:.3}s \
+             ({:+.2}%, {events} buffered events) — budget {:.0}%{}",
+            overhead * 100.0,
+            OVERHEAD_BUDGET * 100.0,
+            if over { "  ** OVER BUDGET **" } else { "" }
+        );
+        let mut m = trace::RunManifest::new("bench campaign_scaling --overhead-only")
+            .with_config("injections_per_layer", n)
+            .with_extra("trace_overhead", Json::Num(overhead))
+            .with_extra("trace_overhead_budget", Json::Num(OVERHEAD_BUDGET))
+            .with_extra("untraced_s", Json::Num(off))
+            .with_extra("traced_s", Json::Num(on));
+        m.wall_time_s = off + on;
+        args.finish_run(m, None);
+        if over {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let mut manifest = trace::RunManifest::new("bench campaign_scaling")
         .with_config("model", "resnet18")
@@ -244,17 +300,14 @@ fn main() {
         jobs: 1,
         ..Default::default()
     };
-    let off = best_time(3, &ge, model.as_ref(), &x, &y, &cfg);
-    trace::capture_events(true);
-    let on = best_time(3, &ge, model.as_ref(), &x, &y, &cfg);
-    trace::capture_events(false);
-    let events = trace::take_events().len();
+    let (off, on, events) = measure_overhead(3, &ge, model.as_ref(), &x, &y, &cfg);
     let overhead = on / off - 1.0;
     println!(
         "Tracing overhead (serial, {n} inj/layer): off {off:.3}s, on {on:.3}s \
-         ({:+.2}%, {events} buffered events) — budget 2%{}",
+         ({:+.2}%, {events} buffered events) — budget {:.0}%{}",
         overhead * 100.0,
-        if overhead <= 0.02 { "" } else { "  ** OVER BUDGET **" }
+        OVERHEAD_BUDGET * 100.0,
+        if overhead <= OVERHEAD_BUDGET { "" } else { "  ** OVER BUDGET **" }
     );
 
     manifest.wall_time_s = t_all.elapsed().as_secs_f64();

@@ -191,6 +191,7 @@ impl BenchArgs {
     /// `default_out`, when given) as pretty JSON.
     pub fn finish_run(&self, mut m: trace::RunManifest, default_out: Option<&str>) {
         m.snapshot_counters();
+        m.snapshot_profile();
         m.emit();
         trace::flush();
         let path = self.out.clone().or_else(|| default_out.map(PathBuf::from));

@@ -77,6 +77,10 @@ impl GlobalFlags {
             args.remove(i);
             level = Level::Warn;
         }
+        if let Some(i) = args.iter().position(|a| a == "--progress") {
+            args.remove(i);
+            trace::set_status_line(true);
+        }
         trace::set_level(level);
         if let Some(path) = &trace_out {
             trace::open_jsonl(std::path::Path::new(path))
@@ -89,6 +93,7 @@ impl GlobalFlags {
     /// to the `--manifest` path, if one was given.
     fn finish(&self, mut m: RunManifest) -> Result<(), String> {
         m.snapshot_counters();
+        m.snapshot_profile();
         m.emit();
         if let Some(path) = &self.manifest {
             m.write(path)
@@ -117,6 +122,15 @@ fn main() -> ExitCode {
         Some("dse") => cmd_dse(&args[1..], &global),
         Some("conformance") => cmd_conformance(&args[1..], &global),
         Some("validate-trace") => cmd_validate_trace(&args[1..]),
+        Some("trace") => match cmd_trace(&args[1..]) {
+            Ok(clean) if !clean => {
+                trace::flush();
+                trace::close_jsonl();
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        },
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -156,10 +170,17 @@ fn print_usage() {
            conformance [--all | <spec>...]         bit-exact format conformance oracle\n\
                        [--report <file.jsonl>]     (exhaustive for data widths ≤ 16 bits)\n\
                        [--write-golden <dir>]      regenerate golden vectors\n\
-           validate-trace <file.jsonl>             check a --trace-out file line by line\n\n\
+           validate-trace <file.jsonl>             check a --trace-out file line by line\n\
+           trace stats <file.jsonl>                summarize a trace: spans, throughput,\n\
+                                                   slowest trials/layers, profile tree\n\
+           trace diff <a> <b> [--threshold R]      compare two run manifests; exits\n\
+                                                   non-zero when wall_time_s or\n\
+                                                   trials_per_sec regresses past R (0.10)\n\
+           trace export --folded <manifest>        profile tree as flamegraph folded stacks\n\n\
          OBSERVABILITY (any subcommand):\n\
            --trace-out <path>   append structured JSONL events (spans, trials, manifest)\n\
            --manifest <path>    write the run manifest as pretty JSON\n\
+           --progress           live status line on stderr (heartbeats go to --trace-out)\n\
            --log-level <lvl>    error|warn|info|debug|trace (default info)\n\
            -v | --verbose       shorthand for --log-level debug\n\
            -q | --quiet         shorthand for --log-level warn (suppresses result output)\n\n\
@@ -482,15 +503,77 @@ fn cmd_conformance(args: &[String], global: &GlobalFlags) -> Result<(), String> 
     Ok(())
 }
 
+/// `goldeneye trace <stats|diff|export>` — the offline trace analysis
+/// toolchain (`goldeneye::tracetool`). Returns `Ok(false)` when a diff
+/// found a regression: the run itself succeeded but the process must
+/// exit non-zero for CI.
+fn cmd_trace(args: &[String]) -> Result<bool, String> {
+    use goldeneye::tracetool;
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let path = args.get(1).ok_or("trace stats needs a JSONL file path")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let report = tracetool::stats_report(path, &text)?;
+            outln!("{}", report.trim_end());
+            Ok(true)
+        }
+        Some("diff") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let threshold = match rest.iter().position(|a| a == "--threshold") {
+                None => 0.10,
+                Some(i) => {
+                    if i + 1 >= rest.len() {
+                        return Err("--threshold needs a value (e.g. 0.10)".into());
+                    }
+                    let v = rest.remove(i + 1);
+                    rest.remove(i);
+                    let t: f64 =
+                        v.parse().map_err(|_| format!("bad --threshold value `{v}`"))?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(format!("--threshold must be a non-negative ratio, got `{v}`"));
+                    }
+                    t
+                }
+            };
+            let [a, b] = rest.as_slice() else {
+                return Err("trace diff needs two manifest paths (and optional --threshold R)".into());
+            };
+            let ma = tracetool::load_manifest(a)?;
+            let mb = tracetool::load_manifest(b)?;
+            let report = tracetool::diff_manifests(&ma, &mb, threshold);
+            outln!("{}", report.text.trim_end());
+            Ok(!report.has_regression())
+        }
+        Some("export") => {
+            let folded = args.iter().any(|a| a == "--folded");
+            let path = args
+                .iter()
+                .skip(1)
+                .find(|a| !a.starts_with("--"))
+                .ok_or("trace export needs a manifest path")?;
+            if !folded {
+                return Err("trace export supports --folded (flamegraph folded stacks)".into());
+            }
+            let m = tracetool::load_manifest(path)?;
+            print!("{}", tracetool::export_folded(&m)?);
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown trace subcommand `{other}` (stats|diff|export)")),
+        None => Err("trace needs a subcommand: stats <file.jsonl> | diff <a> <b> [--threshold R] | export --folded <manifest>".into()),
+    }
+}
+
 fn cmd_validate_trace(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("validate-trace needs a JSONL file path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let summary = trace::validate_trace(&text).map_err(|e| format!("{path}: {e}"))?;
     outln!(
-        "{path}: ok — {} line(s): {} trial(s), {} span(s), {} manifest(s), {} log(s)",
+        "{path}: ok — {} line(s): {} trial(s), {} span(s), {} progress, {} manifest(s), {} log(s)",
         summary.lines,
         summary.trials,
         summary.spans,
+        summary.progress,
         summary.manifests,
         summary.logs
     );

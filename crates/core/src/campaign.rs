@@ -15,12 +15,12 @@ use nn::Module;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use tensor::Tensor;
-use trace::{Json, RunManifest, TrialRecord};
+use trace::{names, Json, Progress, RunManifest, TrialRecord};
 
 /// Process-global counter of executed campaign trials.
 fn trials_counter() -> &'static trace::Metric {
     static C: OnceLock<&'static trace::Metric> = OnceLock::new();
-    C.get_or_init(|| trace::counter("campaign.trials"))
+    C.get_or_init(|| trace::counter(names::CAMPAIGN_TRIALS))
 }
 
 /// Early-stopping decisions are taken only at multiples of this many
@@ -166,12 +166,17 @@ where
         return (0..trials).map(|i| f(0, i)).collect();
     }
     let next = AtomicUsize::new(0);
+    // Workers inherit the spawning thread's span path (e.g. `campaign`)
+    // so their spans nest under it in the self-profiler tree.
+    let prof_path = trace::profile_path();
     let mut collected: Vec<(usize, T)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..jobs)
             .map(|worker| {
                 let f = &f;
                 let next = &next;
+                let prof_path = prof_path.as_str();
                 s.spawn(move || {
+                    let _prof = trace::with_profile_path(prof_path);
                     // Trial-level parallelism already owns the cores: pin
                     // the intra-op kernel pool (GEMM row panels, chunked
                     // quantise) to one thread per worker. Safe because
@@ -327,6 +332,7 @@ impl CampaignResult {
             .collect();
         m.convergence = conv.running_means().to_vec();
         m.snapshot_counters();
+        m.snapshot_profile();
         m
     }
 }
@@ -497,6 +503,13 @@ pub fn run_campaign(
             }
         })
         .collect();
+    // Streaming progress: workers tick the live status line per unit;
+    // heartbeat *events* fire only at wave-round boundaries, which are
+    // schedule-invariant, so heartbeat content is byte-deterministic
+    // across `jobs` and `trials_per_batch` (modulo the volatile timing
+    // fields listed in `trace::names::PROGRESS_VOLATILE_FIELDS`).
+    let progress = Progress::new("campaign", (layers.len() * n) as u64);
+    let mut round: u64 = 0;
     // Rounds of one wave per unstopped site; each wave splits into
     // batches that never cross the wave boundary.
     loop {
@@ -539,7 +552,7 @@ pub fn run_campaign(
                     worker,
                 )
             };
-            match &clean {
+            let recs: Vec<TrialRecord> = match &clean {
                 Some(clean) => {
                     let _span = trace::span!("batch", layer = layer.index, trials = len);
                     let seeds: Vec<u64> = (start..start + len)
@@ -565,7 +578,9 @@ pub fn run_campaign(
                         run_one(trial, &faulty, rec.as_ref())
                     })
                     .collect(),
-            }
+            };
+            progress.tick(recs.len() as u64);
+            recs
         });
         for ((li, _, _), recs) in units.iter().zip(results) {
             for r in recs {
@@ -579,7 +594,24 @@ pub fn run_campaign(
                 }
             }
         }
+        round += 1;
+        // Deterministic content first (wave index, site states), volatile
+        // schedule/timing fields last.
+        let stopped = states.iter().filter(|s| s.stopped).count();
+        let mut extra: Vec<(&'static str, Json)> = vec![
+            ("wave", Json::from(round)),
+            ("stopped_sites", Json::from(stopped)),
+            ("jobs", Json::from(cfg.jobs)),
+            ("batch", Json::from(batch)),
+        ];
+        let seg_total = trace::counter(names::CAMPAIGN_REPLAY_SEG_TOTAL).count();
+        if seg_total > 0 {
+            let skipped = trace::counter(names::CAMPAIGN_REPLAY_SEG_SKIPPED).count();
+            extra.push(("cache_hit_rate", Json::Num(skipped as f64 / seg_total as f64)));
+        }
+        progress.heartbeat(extra);
     }
+    progress.finish();
     let mut results = Vec::with_capacity(layers.len());
     let mut trials = Vec::new();
     for (layer, st) in layers.iter().zip(states) {
@@ -642,6 +674,7 @@ pub fn run_weight_campaign(
     let n = cfg.injections_per_layer;
     let _campaign_span =
         trace::span!("campaign", format = ge.format().name(), site = "weight", jobs = cfg.jobs);
+    let progress = Progress::new("weight_campaign", (weights.len() * n) as u64);
     let trials = run_trials(cfg.jobs, weights.len() * n, |worker, idx| {
         let (param, clean) = &weights[idx / n];
         let trial = idx % n;
@@ -655,7 +688,7 @@ pub fn run_weight_campaign(
         let _guard = param.override_local(faulty_weight);
         let faulty = ge.run(model, x.clone());
         let outcome = compare_outcomes(&golden, &faulty, targets);
-        trial_record(
+        let record = trial_record(
             idx / n,
             param.name(),
             trial,
@@ -663,8 +696,12 @@ pub fn run_weight_campaign(
             Some((fault.index, fault.bit)),
             Some(&outcome),
             worker,
-        )
+        );
+        progress.tick(1);
+        record
     });
+    progress.heartbeat(vec![("jobs", Json::from(cfg.jobs))]);
+    progress.finish();
     let mut results = Vec::with_capacity(weights.len());
     for (li, (param, _)) in weights.iter().enumerate() {
         let mut delta_loss = RunningStats::new();

@@ -190,6 +190,7 @@ impl DseResult {
         m.wall_time_s = wall_time_s;
         m.convergence = self.nodes.iter().map(|n| n.accuracy).collect();
         m.snapshot_counters();
+        m.snapshot_profile();
         m
     }
 }
@@ -223,6 +224,9 @@ pub fn search(
     let _span = trace::span!("dse", family = format!("{family:?}"));
     let threshold = baseline_accuracy - max_drop;
     let mut nodes: Vec<DseNode> = Vec::new();
+    // The traversal is sequential, so a heartbeat per visited node is
+    // already schedule-invariant.
+    let progress = trace::Progress::new("dse", MAX_NODES as u64);
     let visit = |spec: FormatSpec,
                  nodes: &mut Vec<DseNode>,
                  eval: &mut dyn FnMut(&FormatSpec) -> f32|
@@ -245,6 +249,11 @@ pub fn search(
             );
         }
         nodes.push(DseNode { index: nodes.len(), spec, accuracy, accepted });
+        progress.add(1);
+        progress.heartbeat(vec![
+            ("node", trace::Json::from(nodes.len() - 1)),
+            ("accepted", trace::Json::from(accepted)),
+        ]);
         accepted
     };
 
@@ -296,6 +305,7 @@ pub fn search(
     }
 
     debug_assert!(nodes.len() <= MAX_NODES);
+    progress.finish();
     DseResult { baseline_accuracy, threshold, nodes, best: best_spec }
 }
 

@@ -40,14 +40,21 @@ pub fn evaluate_accuracy_jobs(
     let k = k.min(data.len());
     let batches = k.div_ceil(batch_size);
     let _span = trace::span!("evaluate", format = ge.format().name(), jobs = jobs);
+    // Live ticks per batch from the workers; one deterministic heartbeat
+    // when the (fixed) batch set completes.
+    let progress = trace::Progress::new("evaluate", batches as u64);
     let per_batch = crate::campaign::run_trials(jobs, batches, |_worker, b| {
         let start = b * batch_size;
         let end = (start + batch_size).min(k);
         let idx: Vec<usize> = (start..end).collect();
         let (x, y) = data.batch(&idx);
         let logits = ge.run(model, x);
-        ops::argmax_rows(&logits).iter().zip(&y).filter(|(p, t)| p == t).count()
+        let correct = ops::argmax_rows(&logits).iter().zip(&y).filter(|(p, t)| p == t).count();
+        progress.tick(1);
+        correct
     });
+    progress.heartbeat(vec![("jobs", trace::Json::from(jobs))]);
+    progress.finish();
     snap.restore(model);
     per_batch.iter().sum::<usize>() as f32 / k as f32
 }

@@ -34,10 +34,10 @@ struct HookMetrics {
 fn hook_metrics() -> &'static HookMetrics {
     static M: OnceLock<HookMetrics> = OnceLock::new();
     M.get_or_init(|| HookMetrics {
-        quantize_ns: trace::histogram("hook.quantize_ns"),
-        dequantize_ns: trace::histogram("hook.dequantize_ns"),
-        convert_elems: trace::counter("hook.convert_elems"),
-        lock_wait_ns: trace::histogram("hook.lock_wait_ns"),
+        quantize_ns: trace::histogram(trace::names::HOOK_QUANTIZE_NS),
+        dequantize_ns: trace::histogram(trace::names::HOOK_DEQUANTIZE_NS),
+        convert_elems: trace::counter(trace::names::HOOK_CONVERT_ELEMS),
+        lock_wait_ns: trace::histogram(trace::names::HOOK_LOCK_WAIT_NS),
     })
 }
 
@@ -639,6 +639,13 @@ impl GoldenEye {
         assert!(!seeds.is_empty(), "a replay batch needs at least one trial seed");
         let n = seeds.len();
         let seg = clean.segment_for_layer(plan.layer);
+        // Checkpoint-cache accounting: of the `num_segments` a full
+        // forward would run, this batch skips the `seg` before the
+        // checkpoint (the progress heartbeat reports the ratio as the
+        // cache hit rate).
+        trace::counter(trace::names::CAMPAIGN_REPLAY_BATCHES).add(1);
+        trace::counter(trace::names::CAMPAIGN_REPLAY_SEG_SKIPPED).add(seg as u64);
+        trace::counter(trace::names::CAMPAIGN_REPLAY_SEG_TOTAL).add(model.num_segments() as u64);
         let hook = Arc::new(BatchEmulationHook {
             formats: self.format_table(),
             filter: self.filter,

@@ -46,6 +46,7 @@ mod campaign;
 pub mod dse;
 mod evaluate;
 mod instrument;
+pub mod tracetool;
 
 pub use campaign::{
     run_campaign, run_weight_campaign, trial_seed, CampaignConfig, CampaignResult, LayerResult,

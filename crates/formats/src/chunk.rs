@@ -29,8 +29,8 @@ struct QuantMetrics {
 fn quant_metrics() -> &'static QuantMetrics {
     static METRICS: OnceLock<QuantMetrics> = OnceLock::new();
     METRICS.get_or_init(|| QuantMetrics {
-        ns: trace::histogram("formats.quantize.chunked_ns"),
-        elems: trace::counter("formats.quantize.chunked_elems"),
+        ns: trace::histogram(trace::names::FORMATS_QUANTIZE_CHUNKED_NS),
+        elems: trace::counter(trace::names::FORMATS_QUANTIZE_CHUNKED_ELEMS),
     })
 }
 

@@ -101,7 +101,7 @@ pub fn cached(format: &dyn NumberFormat) -> Option<Arc<DequantLut>> {
     }
     let built = DequantLut::build(format).map(Arc::new);
     if built.is_some() {
-        trace::counter("formats.lut.builds").add(1);
+        trace::counter(trace::names::FORMATS_LUT_BUILDS).add(1);
     }
     map.insert(name, built.clone());
     built

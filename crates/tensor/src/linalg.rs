@@ -47,9 +47,9 @@ struct GemmMetrics {
 fn gemm_metrics() -> &'static GemmMetrics {
     static METRICS: OnceLock<GemmMetrics> = OnceLock::new();
     METRICS.get_or_init(|| GemmMetrics {
-        pack_ns: trace::histogram("tensor.gemm.pack_ns"),
-        kernel_ns: trace::histogram("tensor.gemm.kernel_ns"),
-        flops: trace::counter("tensor.gemm.flops"),
+        pack_ns: trace::histogram(trace::names::TENSOR_GEMM_PACK_NS),
+        kernel_ns: trace::histogram(trace::names::TENSOR_GEMM_KERNEL_NS),
+        flops: trace::counter(trace::names::TENSOR_GEMM_FLOPS),
     })
 }
 

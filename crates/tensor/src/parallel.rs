@@ -19,9 +19,17 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Process-wide default thread budget; 0 = "ask the OS".
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Counts task batches dispatched to the worker pool (serial
+/// short-circuits excluded).
+fn dispatch_counter() -> &'static trace::Metric {
+    static C: OnceLock<&'static trace::Metric> = OnceLock::new();
+    C.get_or_init(|| trace::counter(trace::names::TENSOR_PARALLEL_DISPATCHES))
+}
 
 thread_local! {
     /// Per-thread override; `None` falls through to the global default.
@@ -83,18 +91,26 @@ where
         }
         return;
     }
+    dispatch_counter().add(1);
     let next = AtomicUsize::new(0);
+    // Workers inherit the dispatching thread's span path so kernel spans
+    // aggregate under the campaign/trial that ran them.
+    let prof_path = trace::profile_path();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let f = &f;
                 let next = &next;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks {
-                        break;
+                let prof_path = prof_path.as_str();
+                s.spawn(move || {
+                    let _prof = trace::with_profile_path(prof_path);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        f(i);
                     }
-                    f(i);
                 })
             })
             .collect();

@@ -28,11 +28,21 @@
 
 mod json;
 mod manifest;
+pub mod names;
+mod profile;
+mod progress;
 pub mod validate;
 
 pub use json::{parse, Json, ParseJsonError};
-pub use manifest::{version, LayerRecord, RunManifest, StatsSummary, TrialRecord};
-pub use validate::{validate_event, validate_manifest, validate_trace, TraceSummary};
+pub use manifest::{version, LayerRecord, RunManifest, StatsSummary, TrialRecord, SCHEMA_VERSION};
+pub use profile::{
+    profile_folded, profile_from_json, profile_path, profile_snapshot, profile_to_json,
+    reset_profile, with_profile_path, PathGuard, ProfileNode,
+};
+pub use progress::{canonical_progress, set_status_line, status_line_enabled, Progress};
+pub use validate::{
+    validate_event, validate_manifest, validate_trace, TraceError, TraceErrorKind, TraceSummary,
+};
 
 use std::collections::VecDeque;
 use std::io::Write as _;
@@ -188,14 +198,34 @@ pub fn capture_events(on: bool) {
 }
 
 /// Opens (or truncates) a JSONL file sink at `path`; every subsequent
-/// event is appended as one compact JSON line.
+/// event is appended as one compact JSON line. Installs a panic hook (on
+/// first call) that flushes the sink, so a crashed campaign still leaves
+/// a valid, parseable trace file.
 pub fn open_jsonl(path: &std::path::Path) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
+    install_panic_flush();
     let t = tracer();
     let mut s = lock(&t.sinks);
     s.jsonl = Some(std::io::BufWriter::new(file));
     refresh_recording(&s, t.capture.load(Ordering::Relaxed));
     Ok(())
+}
+
+fn install_panic_flush() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            // Best-effort: try_lock so a panic raised while the sink lock
+            // is held (it never is, outside `emit`) cannot deadlock.
+            if let Ok(mut s) = tracer().sinks.try_lock() {
+                if let Some(w) = s.jsonl.as_mut() {
+                    let _ = w.flush();
+                }
+            }
+        }));
+    });
 }
 
 /// Mirrors events to stderr in a compact human-readable form (the
@@ -270,8 +300,11 @@ pub struct Span {
 }
 
 impl Span {
-    /// Starts a span (prefer the [`span!`] macro).
+    /// Starts a span (prefer the [`span!`] macro). Spans nest: the name
+    /// joins the current thread's span path until drop, so the
+    /// self-profiler ([`profile_snapshot`]) aggregates a tree.
     pub fn enter(name: &'static str, fields: Vec<(&'static str, Json)>) -> Span {
+        profile::span_enter(name);
         Span { name, fields, start: Instant::now(), level: Level::Debug }
     }
 
@@ -283,13 +316,15 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        // Profile aggregation is unconditional (a lock-protected map bump
+        // per span drop); event emission stays behind the level gate.
+        profile::span_exit(self.name, dur_ns);
         if !recording() || !enabled(self.level) {
             return;
         }
-        let mut fields: Vec<(&'static str, Json)> = vec![
-            ("name", Json::from(self.name)),
-            ("dur_ns", Json::from(self.start.elapsed().as_nanos() as u64)),
-        ];
+        let mut fields: Vec<(&'static str, Json)> =
+            vec![("name", Json::from(self.name)), ("dur_ns", Json::from(dur_ns))];
         fields.append(&mut self.fields);
         emit(self.level, "span", fields);
     }
@@ -462,16 +497,21 @@ pub fn reset_metrics() {
     }
 }
 
+/// Serializes tests (across every module of this crate) that mutate
+/// process-global tracer state — level, capture ring, sinks, profile
+/// aggregate — so the parallel test runner cannot interleave drains.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Tests below mutate process-global tracer state (level, capture
-    /// ring, sinks); serialize them so the parallel test runner cannot
-    /// interleave drains.
     fn serialize_tests() -> std::sync::MutexGuard<'static, ()> {
-        static GATE: Mutex<()> = Mutex::new(());
-        GATE.lock().unwrap_or_else(|p| p.into_inner())
+        crate::test_serial()
     }
 
     #[test]

@@ -3,6 +3,12 @@
 //! instead of hand-pasted text (MPGemmFI-style replayable records).
 
 use crate::json::Json;
+use crate::profile::ProfileNode;
+
+/// The manifest schema version this build writes (and the only one it
+/// reads). Stamped as the `schema` field; manifests written before the
+/// field existed are read as the current version.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// The goldeneye-rs version string embedded in every manifest —
 /// git-describe-style when the build sets `GOLDENEYE_GIT_DESCRIBE`,
@@ -207,6 +213,9 @@ pub struct RunManifest {
     pub convergence: Vec<f32>,
     /// Snapshot of the trace counters/histograms at the end of the run.
     pub counters: Vec<(String, Json)>,
+    /// Self-profiler tree (inclusive/exclusive ns per span path) captured
+    /// at the end of the run ([`RunManifest::snapshot_profile`]).
+    pub profile: Vec<ProfileNode>,
     /// Experiment-specific payload (sweep rows, DSE nodes, accuracies…).
     pub extra: Vec<(String, Json)>,
 }
@@ -241,10 +250,16 @@ impl RunManifest {
         self.counters = crate::metrics_snapshot();
     }
 
+    /// Captures the current self-profiler tree into `profile`.
+    pub fn snapshot_profile(&mut self) {
+        self.profile = crate::profile_snapshot();
+    }
+
     /// The manifest as a JSON object.
     pub fn to_json(&self) -> Json {
         let mut fields: Vec<(String, Json)> = vec![
             ("type".into(), Json::from("manifest")),
+            ("schema".into(), Json::from(SCHEMA_VERSION)),
             ("tool".into(), Json::from(self.tool.as_str())),
             ("version".into(), Json::from(self.version.as_str())),
             (
@@ -269,6 +284,9 @@ impl RunManifest {
         if !self.counters.is_empty() {
             fields.push(("counters".into(), Json::Obj(self.counters.clone())));
         }
+        if !self.profile.is_empty() {
+            fields.push(("profile".into(), crate::profile_to_json(&self.profile)));
+        }
         for (k, v) in &self.extra {
             fields.push((k.clone(), v.clone()));
         }
@@ -281,6 +299,7 @@ impl RunManifest {
         let str_field = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or_default().to_string();
         let known = [
             "type",
+            "schema",
             "tool",
             "version",
             "command",
@@ -289,6 +308,7 @@ impl RunManifest {
             "layers",
             "convergence",
             "counters",
+            "profile",
         ];
         let mut extra = Vec::new();
         if let Json::Obj(fields) = v {
@@ -326,6 +346,10 @@ impl RunManifest {
                 Some(Json::Obj(fields)) => fields.clone(),
                 _ => Vec::new(),
             },
+            profile: match v.get("profile") {
+                Some(p) => crate::profile_from_json(p)?,
+                None => Vec::new(),
+            },
             extra,
         })
     }
@@ -346,9 +370,12 @@ impl RunManifest {
     }
 
     /// Emits the manifest as a structured `manifest` event on the active
-    /// sinks (so a `--trace-out` JSONL is self-describing).
+    /// sinks (so a `--trace-out` JSONL is self-describing), then flushes
+    /// the JSONL sink — the manifest is usually the last line a run
+    /// writes, and it must survive an abnormal exit.
     pub fn emit(&self) {
         crate::emit(crate::Level::Info, "manifest", vec![("manifest", self.to_json())]);
+        crate::flush();
     }
 }
 
@@ -383,6 +410,19 @@ mod tests {
             },
         }];
         m.convergence = vec![0.5, 0.55, 0.53];
+        m.profile = vec![ProfileNode {
+            name: "campaign".into(),
+            count: 1,
+            inclusive_ns: 1000,
+            exclusive_ns: 400,
+            children: vec![ProfileNode {
+                name: "trial".into(),
+                count: 5,
+                inclusive_ns: 600,
+                exclusive_ns: 600,
+                children: Vec::new(),
+            }],
+        }];
         m
     }
 
@@ -395,7 +435,11 @@ mod tests {
         assert_eq!(parsed.layers, m.layers);
         assert_eq!(parsed.convergence, m.convergence);
         assert_eq!(parsed.wall_time_s, m.wall_time_s);
+        assert_eq!(parsed.profile, m.profile);
         assert_eq!(parsed.extra, m.extra);
+        // Byte-stable across a second round trip (the schema stamp and
+        // profile tree re-serialize identically).
+        assert_eq!(parsed.to_json().to_compact(), m.to_json().to_compact());
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The central registry of telemetry names: every counter/histogram name
+//! and every event kind the platform emits, as constants.
+//!
+//! Call sites across `goldeneye`, `formats`, and `tensor` import these
+//! instead of scattering string literals, so a typo cannot silently fork
+//! a metric, and `trace stats` / the validator can tell a known kind from
+//! garbage. The integration suite asserts that every metric name appearing
+//! in a recorded trace is registered here.
+
+/// Per-call FP32 → format conversion time in the emulation hook.
+pub const HOOK_QUANTIZE_NS: &str = "hook.quantize_ns";
+/// Per-call format → FP32 conversion time in the emulation hook.
+pub const HOOK_DEQUANTIZE_NS: &str = "hook.dequantize_ns";
+/// Elements converted by the emulation hook.
+pub const HOOK_CONVERT_ELEMS: &str = "hook.convert_elems";
+/// Time hooks spent blocked on contended internal locks.
+pub const HOOK_LOCK_WAIT_NS: &str = "hook.lock_wait_ns";
+/// Executed campaign trials.
+pub const CAMPAIGN_TRIALS: &str = "campaign.trials";
+/// Batched replay forwards executed by the checkpoint/replay engine.
+pub const CAMPAIGN_REPLAY_BATCHES: &str = "campaign.replay.batches";
+/// Model segments skipped by replaying from a checkpoint (cache hits).
+pub const CAMPAIGN_REPLAY_SEG_SKIPPED: &str = "campaign.replay.segments_skipped";
+/// Total model segments a full forward of each replay batch would run.
+pub const CAMPAIGN_REPLAY_SEG_TOTAL: &str = "campaign.replay.segments_total";
+/// Dequantise lookup tables built by the `formats` fast path.
+pub const FORMATS_LUT_BUILDS: &str = "formats.lut.builds";
+/// Chunk-parallel quantise wall time.
+pub const FORMATS_QUANTIZE_CHUNKED_NS: &str = "formats.quantize.chunked_ns";
+/// Elements quantised by the chunk-parallel path.
+pub const FORMATS_QUANTIZE_CHUNKED_ELEMS: &str = "formats.quantize.chunked_elems";
+/// GEMM packing time.
+pub const TENSOR_GEMM_PACK_NS: &str = "tensor.gemm.pack_ns";
+/// GEMM micro-kernel time.
+pub const TENSOR_GEMM_KERNEL_NS: &str = "tensor.gemm.kernel_ns";
+/// Floating-point operations executed by the GEMM kernels.
+pub const TENSOR_GEMM_FLOPS: &str = "tensor.gemm.flops";
+/// Task batches dispatched by the intra-op worker pool.
+pub const TENSOR_PARALLEL_DISPATCHES: &str = "tensor.parallel.dispatches";
+
+/// Every registered metric name. Kept sorted for deterministic reporting.
+pub const ALL_METRICS: &[&str] = &[
+    CAMPAIGN_REPLAY_BATCHES,
+    CAMPAIGN_REPLAY_SEG_SKIPPED,
+    CAMPAIGN_REPLAY_SEG_TOTAL,
+    CAMPAIGN_TRIALS,
+    FORMATS_LUT_BUILDS,
+    FORMATS_QUANTIZE_CHUNKED_ELEMS,
+    FORMATS_QUANTIZE_CHUNKED_NS,
+    HOOK_CONVERT_ELEMS,
+    HOOK_DEQUANTIZE_NS,
+    HOOK_LOCK_WAIT_NS,
+    HOOK_QUANTIZE_NS,
+    TENSOR_GEMM_FLOPS,
+    TENSOR_GEMM_KERNEL_NS,
+    TENSOR_GEMM_PACK_NS,
+    TENSOR_PARALLEL_DISPATCHES,
+];
+
+/// Whether `name` is a registered metric name (`test.*` names are
+/// reserved for unit tests and always accepted).
+pub fn is_registered_metric(name: &str) -> bool {
+    name.starts_with("test.") || ALL_METRICS.contains(&name)
+}
+
+// ---------------------------------------------------------------------------
+// Event kinds
+// ---------------------------------------------------------------------------
+
+/// RAII scope timing, emitted on span drop.
+pub const KIND_SPAN: &str = "span";
+/// Mirrored stderr log line.
+pub const KIND_LOG: &str = "log";
+/// One fault-injection trial record.
+pub const KIND_TRIAL: &str = "trial";
+/// A run manifest (inline or wrapped as an event payload).
+pub const KIND_MANIFEST: &str = "manifest";
+/// Quantizer range-profile snapshot.
+pub const KIND_RANGE_PROFILE: &str = "range_profile";
+/// One DSE traversal decision.
+pub const KIND_DSE_NODE: &str = "dse_node";
+/// Streaming progress heartbeat (trials done/planned, throughput, ETA).
+pub const KIND_PROGRESS: &str = "progress";
+/// A self-profiler tree snapshot.
+pub const KIND_PROFILE: &str = "profile";
+
+/// Every event kind the platform emits. A JSONL trace containing any
+/// other kind fails validation with a typed error.
+pub const ALL_EVENT_KINDS: &[&str] = &[
+    KIND_SPAN,
+    KIND_LOG,
+    KIND_TRIAL,
+    KIND_MANIFEST,
+    KIND_RANGE_PROFILE,
+    KIND_DSE_NODE,
+    KIND_PROGRESS,
+    KIND_PROFILE,
+];
+
+/// Whether `kind` is a known event kind (`test_*` kinds are reserved for
+/// unit tests and always accepted).
+pub fn is_known_kind(kind: &str) -> bool {
+    kind.starts_with("test_") || ALL_EVENT_KINDS.contains(&kind)
+}
+
+/// Fields of a `progress` event that carry wall-clock-derived or
+/// schedule-dependent values (throughput, ETA, batch geometry). The
+/// deterministic content of a heartbeat is everything else; comparisons
+/// across `--jobs`/`--trials-per-batch` strip these, exactly like
+/// timestamps.
+pub const PROGRESS_VOLATILE_FIELDS: &[&str] =
+    &["ts_ns", "elapsed_s", "per_sec", "eta_s", "jobs", "batch", "cache_hit_rate"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_registry_is_sorted_and_matches() {
+        let mut sorted = ALL_METRICS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ALL_METRICS, "ALL_METRICS must stay sorted");
+        assert!(is_registered_metric(CAMPAIGN_TRIALS));
+        assert!(is_registered_metric("test.anything"));
+        assert!(!is_registered_metric("hook.typo_ns"));
+    }
+
+    #[test]
+    fn event_kind_registry() {
+        assert!(is_known_kind("trial"));
+        assert!(is_known_kind("progress"));
+        assert!(is_known_kind("test_ring"));
+        assert!(!is_known_kind("bogus_kind"));
+    }
+}

@@ -1,9 +1,79 @@
 //! Schema validation for run manifests and JSONL trace files — used by
 //! the test suite and the CI smoke job (`goldeneye validate-trace`), so a
 //! regenerated `results/` artifact is guaranteed machine-readable.
+//!
+//! Every failure is a typed [`TraceError`] (never a panic): malformed
+//! JSON, an unknown event kind, a manifest schema-version mismatch, or a
+//! structurally invalid record, each pinned to its 1-based line when the
+//! input is a JSONL stream.
 
 use crate::json::Json;
 use crate::manifest::TrialRecord;
+use crate::names;
+
+/// Why a trace or manifest failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The line is not valid JSON (truncated write, binary garbage, …).
+    Parse(String),
+    /// The event's `type` is not in [`names::ALL_EVENT_KINDS`].
+    UnknownKind(String),
+    /// The manifest's `schema` does not match this build's
+    /// [`crate::SCHEMA_VERSION`].
+    SchemaVersion {
+        /// Version found in the document.
+        found: u64,
+        /// Version this build reads and writes.
+        expected: u64,
+    },
+    /// Structurally invalid record (missing/mistyped field).
+    Malformed(String),
+}
+
+/// A validation failure, optionally pinned to a 1-based JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number in the JSONL input (`None` for single-object
+    /// validation).
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub kind: TraceErrorKind,
+}
+
+impl TraceError {
+    fn malformed(msg: impl Into<String>) -> TraceError {
+        TraceError { line: None, kind: TraceErrorKind::Malformed(msg.into()) }
+    }
+
+    fn at_line(mut self, line: usize) -> TraceError {
+        self.line = Some(line);
+        self
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        match &self.kind {
+            TraceErrorKind::Parse(msg) => write!(f, "{msg}"),
+            TraceErrorKind::UnknownKind(kind) => write!(f, "unknown event kind `{kind}`"),
+            TraceErrorKind::SchemaVersion { found, expected } => {
+                write!(f, "manifest schema version {found} (this build reads {expected})")
+            }
+            TraceErrorKind::Malformed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<TraceError> for String {
+    fn from(e: TraceError) -> String {
+        e.to_string()
+    }
+}
 
 /// What a validated JSONL trace contained.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -18,57 +88,88 @@ pub struct TraceSummary {
     pub manifests: usize,
     /// `type == "log"` records.
     pub logs: usize,
+    /// `type == "progress"` heartbeats.
+    pub progress: usize,
 }
 
 /// Validates one run-manifest JSON object against the schema: required
-/// `tool`/`version`/`wall_time_s`/`config`, well-formed `layers` and
-/// `convergence` when present.
-pub fn validate_manifest(v: &Json) -> Result<(), String> {
+/// `tool`/`version`/`wall_time_s`/`config`, a `schema` version (when
+/// present) matching this build, well-formed `layers`/`convergence`/
+/// `profile` when present.
+pub fn validate_manifest(v: &Json) -> Result<(), TraceError> {
     if !v.is_obj() {
-        return Err("manifest must be a JSON object".into());
+        return Err(TraceError::malformed("manifest must be a JSON object"));
+    }
+    if let Some(schema) = v.get("schema") {
+        let found = schema
+            .as_u64()
+            .ok_or_else(|| TraceError::malformed("manifest: `schema` must be an integer"))?;
+        if found != crate::SCHEMA_VERSION {
+            return Err(TraceError {
+                line: None,
+                kind: TraceErrorKind::SchemaVersion { found, expected: crate::SCHEMA_VERSION },
+            });
+        }
     }
     for key in ["tool", "version"] {
         if v.get(key).and_then(Json::as_str).is_none() {
-            return Err(format!("manifest: missing string field `{key}`"));
+            return Err(TraceError::malformed(format!("manifest: missing string field `{key}`")));
         }
     }
     if v.get("wall_time_s").and_then(Json::as_f64).is_none() {
-        return Err("manifest: missing numeric field `wall_time_s`".into());
+        return Err(TraceError::malformed("manifest: missing numeric field `wall_time_s`"));
     }
     match v.get("config") {
         Some(c) if c.is_obj() => {}
-        _ => return Err("manifest: missing object field `config`".into()),
+        _ => return Err(TraceError::malformed("manifest: missing object field `config`")),
     }
     if let Some(layers) = v.get("layers") {
-        let arr = layers.as_arr().ok_or("manifest: `layers` must be an array")?;
+        let arr = layers
+            .as_arr()
+            .ok_or_else(|| TraceError::malformed("manifest: `layers` must be an array"))?;
         for (i, layer) in arr.iter().enumerate() {
             crate::manifest::LayerRecord::from_json(layer)
-                .map_err(|e| format!("manifest: layers[{i}]: {e}"))?;
+                .map_err(|e| TraceError::malformed(format!("manifest: layers[{i}]: {e}")))?;
         }
     }
     if let Some(conv) = v.get("convergence") {
-        let arr = conv.as_arr().ok_or("manifest: `convergence` must be an array")?;
+        let arr = conv
+            .as_arr()
+            .ok_or_else(|| TraceError::malformed("manifest: `convergence` must be an array"))?;
         if arr.iter().any(|x| x.as_f64().is_none()) {
-            return Err("manifest: `convergence` must contain only numbers".into());
+            return Err(TraceError::malformed("manifest: `convergence` must contain only numbers"));
         }
+    }
+    if let Some(profile) = v.get("profile") {
+        crate::profile_from_json(profile)
+            .map_err(|e| TraceError::malformed(format!("manifest: {e}")))?;
     }
     Ok(())
 }
 
 /// Validates one event object from a JSONL trace: every line must be an
-/// object with `type`; `trial` and `manifest` lines must satisfy their
+/// object with a **known** `type` (see [`names::ALL_EVENT_KINDS`]);
+/// `trial`/`manifest`/`span`/`log`/`progress` lines must satisfy their
 /// schemas; other kinds only need a timestamp when they claim one.
-pub fn validate_event(v: &Json) -> Result<&str, String> {
+pub fn validate_event(v: &Json) -> Result<&str, TraceError> {
     if !v.is_obj() {
-        return Err("event must be a JSON object".into());
+        return Err(TraceError::malformed("event must be a JSON object"));
     }
-    let kind = v.get("type").and_then(Json::as_str).ok_or("event: missing string field `type`")?;
+    let kind = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| TraceError::malformed("event: missing string field `type`"))?;
+    if !names::is_known_kind(kind) {
+        return Err(TraceError { line: None, kind: TraceErrorKind::UnknownKind(kind.to_string()) });
+    }
     if let Some(ts) = v.get("ts_ns") {
-        ts.as_u64().ok_or("event: `ts_ns` must be a non-negative integer")?;
+        ts.as_u64().ok_or_else(|| {
+            TraceError::malformed("event: `ts_ns` must be a non-negative integer")
+        })?;
     }
     match kind {
         "trial" => {
-            TrialRecord::from_json(v)?;
+            TrialRecord::from_json(v).map_err(TraceError::malformed)?;
         }
         "manifest" => {
             // Either inline (`{"type":"manifest","tool":…}`) or wrapped as
@@ -78,14 +179,26 @@ pub fn validate_event(v: &Json) -> Result<&str, String> {
         }
         "span" => {
             if v.get("name").and_then(Json::as_str).is_none() {
-                return Err("span event: missing string field `name`".into());
+                return Err(TraceError::malformed("span event: missing string field `name`"));
             }
             if v.get("dur_ns").and_then(Json::as_u64).is_none() {
-                return Err("span event: missing integer field `dur_ns`".into());
+                return Err(TraceError::malformed("span event: missing integer field `dur_ns`"));
             }
         }
         "log" if v.get("msg").and_then(Json::as_str).is_none() => {
-            return Err("log event: missing string field `msg`".into());
+            return Err(TraceError::malformed("log event: missing string field `msg`"));
+        }
+        "progress" => {
+            for key in ["done", "planned"] {
+                if v.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(TraceError::malformed(format!(
+                        "progress event: missing integer field `{key}`"
+                    )));
+                }
+            }
+            if v.get("phase").and_then(Json::as_str).is_none() {
+                return Err(TraceError::malformed("progress event: missing string field `phase`"));
+            }
         }
         _ => {}
     }
@@ -94,21 +207,24 @@ pub fn validate_event(v: &Json) -> Result<&str, String> {
 
 /// Validates a whole JSONL trace (one JSON object per non-empty line) and
 /// returns per-kind counts. Line numbers in errors are 1-based.
-pub fn validate_trace(jsonl: &str) -> Result<TraceSummary, String> {
+pub fn validate_trace(jsonl: &str) -> Result<TraceSummary, TraceError> {
     let mut summary = TraceSummary::default();
     for (i, line) in jsonl.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let v = crate::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        let kind = validate_event(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let v = crate::parse(line).map_err(|e| {
+            TraceError { line: None, kind: TraceErrorKind::Parse(e.to_string()) }.at_line(i + 1)
+        })?;
+        let kind = validate_event(&v).map_err(|e| e.at_line(i + 1))?;
         summary.lines += 1;
         match kind {
             "trial" => summary.trials += 1,
             "span" => summary.spans += 1,
             "manifest" => summary.manifests += 1,
             "log" => summary.logs += 1,
+            "progress" => summary.progress += 1,
             _ => {}
         }
     }
@@ -136,14 +252,18 @@ mod tests {
             worker: 0,
         };
         let jsonl = format!(
-            "{}\n{}\n{}\n\n{}\n",
+            "{}\n{}\n{}\n\n{}\n{}\n",
             trial.to_json().to_compact(),
             r#"{"ts_ns":12,"level":"debug","type":"span","name":"campaign","dur_ns":99}"#,
             r#"{"ts_ns":13,"level":"info","type":"log","msg":"hi"}"#,
+            r#"{"ts_ns":14,"level":"info","type":"progress","phase":"campaign","done":3,"planned":9}"#,
             m.to_json().to_compact(),
         );
         let s = validate_trace(&jsonl).unwrap();
-        assert_eq!(s, TraceSummary { lines: 4, trials: 1, spans: 1, manifests: 1, logs: 1 });
+        assert_eq!(
+            s,
+            TraceSummary { lines: 5, trials: 1, spans: 1, manifests: 1, logs: 1, progress: 1 }
+        );
     }
 
     #[test]
@@ -159,13 +279,67 @@ mod tests {
     #[test]
     fn bad_lines_are_pinpointed() {
         let err = validate_trace("{\"type\":\"log\",\"msg\":\"ok\"}\nnot json\n").unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
+        assert_eq!(err.line, Some(2));
+        assert!(matches!(err.kind, TraceErrorKind::Parse(_)), "{err}");
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
         let err = validate_trace("{\"no_type\":1}\n").unwrap_err();
-        assert!(err.contains("missing string field `type`"), "{err}");
+        assert!(err.to_string().contains("missing string field `type`"), "{err}");
         let err = validate_trace("{\"type\":\"trial\",\"layer\":0}\n").unwrap_err();
-        assert!(err.contains("trial"), "{err}");
+        assert!(err.to_string().contains("trial"), "{err}");
         let err = validate_trace("{\"type\":\"span\",\"name\":\"x\"}\n").unwrap_err();
-        assert!(err.contains("dur_ns"), "{err}");
+        assert!(err.to_string().contains("dur_ns"), "{err}");
+    }
+
+    #[test]
+    fn truncated_line_is_a_parse_error() {
+        // A crash mid-write leaves a truncated final line; it must fail
+        // with a typed Parse error pinned to that line, not a panic.
+        let good = r#"{"type":"log","msg":"ok"}"#;
+        let truncated = r#"{"type":"trial","layer":3,"na"#;
+        let err = validate_trace(&format!("{good}\n{truncated}")).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(matches!(err.kind, TraceErrorKind::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_event_kind_is_typed() {
+        let err = validate_trace("{\"type\":\"wormhole\"}\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert_eq!(err.kind, TraceErrorKind::UnknownKind("wormhole".into()));
+        assert!(err.to_string().contains("unknown event kind `wormhole`"), "{err}");
+        // `test_*` kinds are reserved for unit tests and accepted.
+        assert!(validate_trace("{\"type\":\"test_ring\"}\n").is_ok());
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_typed() {
+        let doc = format!(
+            r#"{{"type":"manifest","schema":{},"tool":"t","version":"v","wall_time_s":0.1,"config":{{}}}}"#,
+            crate::SCHEMA_VERSION + 1
+        );
+        let err = validate_manifest(&crate::parse(&doc).unwrap()).unwrap_err();
+        assert_eq!(
+            err.kind,
+            TraceErrorKind::SchemaVersion {
+                found: crate::SCHEMA_VERSION + 1,
+                expected: crate::SCHEMA_VERSION
+            }
+        );
+        // Pre-schema manifests (no `schema` field) still validate.
+        let legacy = r#"{"tool":"t","version":"v","wall_time_s":0.1,"config":{}}"#;
+        assert!(validate_manifest(&crate::parse(legacy).unwrap()).is_ok());
+        // And the mismatch is pinned to its line in a JSONL stream.
+        let err = validate_trace(&doc).unwrap_err();
+        assert_eq!(err.line, Some(1));
+    }
+
+    #[test]
+    fn progress_schema_requirements() {
+        let err = validate_trace("{\"type\":\"progress\",\"phase\":\"campaign\",\"done\":1}\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("planned"), "{err}");
+        let err = validate_trace("{\"type\":\"progress\",\"done\":1,\"planned\":2}\n").unwrap_err();
+        assert!(err.to_string().contains("phase"), "{err}");
     }
 
     #[test]
@@ -176,5 +350,8 @@ mod tests {
         let bad_layers =
             r#"{"tool":"t","version":"v","wall_time_s":0.1,"config":{},"layers":[{}]}"#;
         assert!(validate_manifest(&crate::parse(bad_layers).unwrap()).is_err());
+        let bad_profile =
+            r#"{"tool":"t","version":"v","wall_time_s":0.1,"config":{},"profile":[{"name":"x"}]}"#;
+        assert!(validate_manifest(&crate::parse(bad_profile).unwrap()).is_err());
     }
 }

@@ -115,6 +115,125 @@ fn campaign_jsonl_stream_passes_validate_trace() {
     assert_eq!(summary.lines, events.len() + 1);
 }
 
+/// Runs one campaign with event capture on and returns the canonical
+/// (volatile-fields-stripped) content of every `progress` heartbeat it
+/// emitted, in order.
+fn canonical_heartbeats(
+    model: &ResNet,
+    x: &tensor::Tensor,
+    y: &[usize],
+    cfg: &CampaignConfig,
+) -> Vec<String> {
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    trace::capture_events(true);
+    let _ = trace::take_events();
+    run_campaign(&ge, model, x, y, cfg);
+    trace::capture_events(false);
+    trace::take_events()
+        .iter()
+        .map(|e| e.to_json())
+        .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some("progress"))
+        .inspect(|v| {
+            trace::validate_event(v).expect("heartbeat validates");
+        })
+        .map(|v| trace::canonical_progress(&v))
+        .collect()
+}
+
+#[test]
+fn progress_heartbeats_are_byte_deterministic_across_jobs_and_batch() {
+    let _gate = serialize_tests();
+    let (model, x, y) = setup();
+    let base = CampaignConfig {
+        injections_per_layer: 3,
+        kind: SiteKind::Value,
+        seed: 5,
+        jobs: 1,
+        ..Default::default()
+    };
+    let reference = canonical_heartbeats(&model, &x, &y, &base.clone().with_trials_per_batch(1));
+    assert!(!reference.is_empty(), "campaign emitted no heartbeats");
+    for (jobs, batch) in [(2usize, 1usize), (1, 4), (4, 8)] {
+        let cfg = CampaignConfig { jobs, ..base.clone() }.with_trials_per_batch(batch);
+        let got = canonical_heartbeats(&model, &x, &y, &cfg);
+        assert_eq!(
+            got, reference,
+            "canonical heartbeat content diverged at jobs={jobs} batch={batch}"
+        );
+    }
+    // The canonical form keeps the deterministic fields and drops every
+    // volatile one.
+    for hb in &reference {
+        for key in ["\"phase\"", "\"done\"", "\"planned\"", "\"wave\""] {
+            assert!(hb.contains(key), "{hb} missing {key}");
+        }
+        for volatile in trace::names::PROGRESS_VOLATILE_FIELDS {
+            assert!(!hb.contains(&format!("\"{volatile}\"")), "{hb} leaked {volatile}");
+        }
+    }
+}
+
+#[test]
+fn every_recorded_metric_name_is_registered() {
+    let _gate = serialize_tests();
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("int:8").unwrap();
+    let cfg = CampaignConfig {
+        injections_per_layer: 2,
+        kind: SiteKind::Value,
+        seed: 3,
+        jobs: 2,
+        ..Default::default()
+    };
+    trace::reset_metrics();
+    run_campaign(&ge, &model, &x, &y, &cfg);
+    let snapshot = trace::metrics_snapshot();
+    assert!(!snapshot.is_empty(), "campaign recorded no metrics");
+    for (name, _) in &snapshot {
+        assert!(
+            trace::names::is_registered_metric(name),
+            "metric `{name}` recorded but not registered in trace::names"
+        );
+    }
+}
+
+#[test]
+fn profile_tree_accounts_for_campaign_wall_clock() {
+    let _gate = serialize_tests();
+    let (model, x, y) = setup();
+    let ge = GoldenEye::parse("fp:e4m3").unwrap();
+    let cfg = CampaignConfig {
+        injections_per_layer: 4,
+        kind: SiteKind::Value,
+        seed: 13,
+        jobs: 2,
+        ..Default::default()
+    };
+    trace::reset_profile();
+    let t = std::time::Instant::now();
+    let result = run_campaign(&ge, &model, &x, &y, &cfg);
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    let roots = trace::profile_snapshot();
+    let campaign = roots
+        .iter()
+        .find(|n| n.name == "campaign")
+        .expect("campaign span recorded in the profile tree");
+    assert_eq!(campaign.count, 1);
+    assert!(
+        campaign.inclusive_ns >= wall_ns * 9 / 10,
+        "profile tree covers {}ns of {}ns wall ({:.1}%) — below the 90% contract",
+        campaign.inclusive_ns,
+        wall_ns,
+        campaign.inclusive_ns as f64 / wall_ns as f64 * 100.0
+    );
+    // The tree also lands in the manifest and exports as folded stacks.
+    let mut manifest = result.to_manifest("test campaign", &cfg, 0.5);
+    manifest.snapshot_profile();
+    assert!(manifest.profile.iter().any(|n| n.name == "campaign"));
+    let folded = trace::profile_folded(&manifest.profile);
+    assert!(folded.lines().any(|l| l.starts_with("campaign")), "{folded}");
+}
+
 #[test]
 fn campaign_manifest_round_trips_through_json() {
     let _gate = serialize_tests();
