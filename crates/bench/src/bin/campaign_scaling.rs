@@ -19,8 +19,12 @@
 //! [--injections N] [--jobs MAX]`
 
 use bench::{prepare_model, test_set, BenchArgs, ModelKind};
-use goldeneye::{run_campaign, run_weight_campaign, CampaignConfig, CampaignResult, GoldenEye};
+use goldeneye::{
+    evaluate_accuracy_jobs, run_campaign, run_weight_campaign, CampaignConfig, CampaignResult,
+    GoldenEye,
+};
 use inject::SiteKind;
+use std::sync::Arc;
 use std::time::Instant;
 use trace::Json;
 
@@ -289,6 +293,29 @@ fn main() {
         effective_tps / unbatched_tps
     );
 
+    // Cold vs. warm artifact store: the same end-to-end multi-format
+    // evaluation campaign — prepare a model, then per format quantise the
+    // weights, measure accuracy, and run a small weight campaign —
+    // against one `--store` directory, twice. The cold pass trains the
+    // model and converts every weight tensor; the warm pass (a fresh
+    // handle, like a second process) loads the trained checkpoint and the
+    // cached conversions. Per-trial records are asserted byte-identical.
+    let store_dir =
+        std::env::temp_dir().join(format!("goldeneye_store_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let (cold_s, cold_stats, cold_jsonl) = store_end_to_end(&store_dir);
+    let (warm_s, warm_stats, warm_jsonl) = store_end_to_end(&store_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    assert!(cold_jsonl == warm_jsonl, "warm store changed per-trial campaign records");
+    let warm_speedup = cold_s / warm_s;
+    println!(
+        "\nArtifact store (end-to-end multi-format campaign): cold {cold_s:.2}s, warm \
+         {warm_s:.2}s ({warm_speedup:.2}x, warm hit rate {:.0}%, {} bytes reused, \
+         byte-identical records)",
+        warm_stats.hit_rate() * 100.0,
+        warm_stats.bytes_reused
+    );
+
     // Tracing-overhead budget: the same serial campaign with the event
     // layer recording (ring-buffer sink, Info level) vs. off. Per-trial
     // cost with tracing off is one relaxed atomic load, so the overhead
@@ -332,6 +359,52 @@ fn main() {
         .with_extra("early_stop_executed_trials", Json::from(es_result.trials.len()))
         .with_extra("early_stop_planned_trials", Json::from(es_result.planned_trials))
         .with_extra("effective_trials_per_sec", Json::Num(effective_tps))
-        .with_extra("effective_speedup_vs_per_trial", Json::Num(effective_tps / unbatched_tps));
+        .with_extra("effective_speedup_vs_per_trial", Json::Num(effective_tps / unbatched_tps))
+        .with_extra("store_cold_s", Json::Num(cold_s))
+        .with_extra("store_warm_s", Json::Num(warm_s))
+        .with_extra("store_warm_speedup", Json::Num(warm_speedup))
+        .with_extra("store_cold_hit_rate", Json::Num(cold_stats.hit_rate()))
+        .with_extra("store_warm_hit_rate", Json::Num(warm_stats.hit_rate()))
+        .with_extra("store_warm_bytes_reused", Json::from(warm_stats.bytes_reused));
     args.finish_run(manifest, Some("BENCH_campaign.json"));
+}
+
+/// One end-to-end multi-format pass against `dir`: model preparation
+/// (training on a cold store, checkpoint load on a warm one), then for
+/// each format an accuracy evaluation plus a small weight campaign.
+/// Returns (wall seconds, this handle's store stats, concatenated
+/// canonical per-trial records).
+fn store_end_to_end(dir: &std::path::Path) -> (f64, store::StoreStats, String) {
+    use rand::SeedableRng;
+    let t = Instant::now();
+    let store = Arc::new(store::Store::open(dir).expect("cannot open bench store"));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let model = models::ResNet::new(models::ResNetConfig::tiny(8), &mut rng);
+    let data = models::SyntheticDataset::generate(128, 16, 4, 7);
+    let ckpt = "bench:store:tiny8";
+    let cached = models::load_params_from_store(&model, &store, ckpt)
+        .expect("corrupt checkpoint in bench store");
+    if !cached {
+        models::train(
+            &model,
+            &data,
+            &models::TrainConfig { epochs: 8, batch_size: 16, lr: 3e-3, ..Default::default() },
+        );
+        models::save_params_to_store(&model, &store, ckpt);
+    }
+    let (x, y) = data.head_batch(8);
+    let cfg = CampaignConfig {
+        injections_per_layer: 2,
+        kind: SiteKind::Value,
+        seed: 3,
+        jobs: 1,
+        ..Default::default()
+    };
+    let mut jsonl = String::new();
+    for spec in ["fp:e4m3", "fp:e5m2", "int:8", "posit:8:0", "bfp:e5m5:b16"] {
+        let ge = GoldenEye::parse(spec).expect("valid spec").with_store(store.clone());
+        evaluate_accuracy_jobs(&ge, &model, &data, 32, 16, 1);
+        jsonl.push_str(&run_weight_campaign(&ge, &model, &x, &y, &cfg).canonical_trial_jsonl());
+    }
+    (t.elapsed().as_secs_f64(), store.stats(), jsonl)
 }

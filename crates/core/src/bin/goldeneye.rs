@@ -23,7 +23,7 @@
 //! `--log-level <error|warn|info|debug|trace>`, `-v` (debug), and
 //! `--quiet` (warn) gate both terminal output and event verbosity.
 
-use goldeneye::dse::{accuracy_eval, search, DseFamily};
+use goldeneye::dse::{accuracy_eval_stored, search, DseFamily};
 use goldeneye::{evaluate_accuracy_jobs, run_campaign, CampaignConfig, GoldenEye};
 use inject::{BitSampler, SiteKind};
 use models::{
@@ -33,6 +33,7 @@ use nn::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 use trace::{logln, outln, Level, RunManifest};
 
@@ -41,6 +42,11 @@ use trace::{logln, outln, Level, RunManifest};
 struct GlobalFlags {
     /// `--manifest <path>`: write the run manifest as pretty JSON.
     manifest: Option<std::path::PathBuf>,
+    /// `--store <dir>`: content-addressed artifact store shared across
+    /// runs (and across concurrent processes pointing at the same
+    /// directory). Caches trained demo checkpoints, quantised weights,
+    /// and dequantise LUTs; results stay bit-identical with or without it.
+    store: Option<Arc<store::Store>>,
 }
 
 impl GlobalFlags {
@@ -63,6 +69,7 @@ impl GlobalFlags {
         };
         let trace_out = take_value("--trace-out")?;
         let manifest = take_value("--manifest")?;
+        let store_dir = take_value("--store")?;
         let log_level = take_value("--log-level")?;
         let mut level = match log_level {
             None => Level::Info,
@@ -86,12 +93,29 @@ impl GlobalFlags {
             trace::open_jsonl(std::path::Path::new(path))
                 .map_err(|e| format!("cannot open --trace-out `{path}`: {e}"))?;
         }
-        Ok(GlobalFlags { manifest: manifest.map(Into::into) })
+        let store = match store_dir {
+            None => None,
+            Some(dir) => Some(Arc::new(
+                store::Store::open(&dir)
+                    .map_err(|e| format!("cannot open --store `{dir}`: {e}"))?,
+            )),
+        };
+        Ok(GlobalFlags { manifest: manifest.map(Into::into), store })
     }
 
     /// Finishes a run: emits `m` on the active trace sinks and writes it
     /// to the `--manifest` path, if one was given.
     fn finish(&self, mut m: RunManifest) -> Result<(), String> {
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            m = m
+                .with_extra("store_generation", store.generation())
+                .with_extra("store_hits", s.hits)
+                .with_extra("store_misses", s.misses)
+                .with_extra("store_bytes_reused", s.bytes_reused)
+                .with_extra("store_bytes_written", s.bytes_written)
+                .with_extra("store_hit_rate", s.hit_rate());
+        }
         m.snapshot_counters();
         m.snapshot_profile();
         m.emit();
@@ -121,6 +145,7 @@ fn main() -> ExitCode {
         Some("campaign") => cmd_campaign(&args[1..], &global),
         Some("dse") => cmd_dse(&args[1..], &global),
         Some("conformance") => cmd_conformance(&args[1..], &global),
+        Some("store") => cmd_store(&args[1..], &global),
         Some("validate-trace") => cmd_validate_trace(&args[1..]),
         Some("trace") => match cmd_trace(&args[1..]) {
             Ok(clean) if !clean => {
@@ -170,6 +195,7 @@ fn print_usage() {
            conformance [--all | <spec>...]         bit-exact format conformance oracle\n\
                        [--report <file.jsonl>]     (exhaustive for data widths ≤ 16 bits)\n\
                        [--write-golden <dir>]      regenerate golden vectors\n\
+           store ls|verify|gc --store <dir>        inspect/validate/sweep an artifact store\n\
            validate-trace <file.jsonl>             check a --trace-out file line by line\n\
            trace stats <file.jsonl>                summarize a trace: spans, throughput,\n\
                                                    slowest trials/layers, profile tree\n\
@@ -180,6 +206,9 @@ fn print_usage() {
          OBSERVABILITY (any subcommand):\n\
            --trace-out <path>   append structured JSONL events (spans, trials, manifest)\n\
            --manifest <path>    write the run manifest as pretty JSON\n\
+           --store <dir>        content-addressed artifact store: caches trained demo\n\
+                                checkpoints, quantised weights, and dequantise LUTs\n\
+                                across runs/processes (results stay bit-identical)\n\
            --progress           live status line on stderr (heartbeats go to --trace-out)\n\
            --log-level <lvl>    error|warn|info|debug|trace (default info)\n\
            -v | --verbose       shorthand for --log-level debug\n\
@@ -251,10 +280,15 @@ fn cmd_quantize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds and trains the CLI's small demonstration model.
+/// Builds and trains the CLI's small demonstration model. With an
+/// artifact store attached, the trained checkpoint is cached under
+/// `demo:{kind}:{epochs}` — training is fully deterministic (fixed seed,
+/// fixed data), so a warm run loads the bit-identical weights and skips
+/// the on-the-spot training entirely.
 fn demo_model(
     kind: &str,
     epochs: usize,
+    store: Option<&Arc<store::Store>>,
 ) -> Result<(Box<dyn Module>, SyntheticDataset, f32), String> {
     let mut rng = StdRng::seed_from_u64(1);
     let model: Box<dyn Module> = match kind {
@@ -263,13 +297,26 @@ fn demo_model(
         other => return Err(format!("unknown model `{other}` (cnn|vit)")),
     };
     let data = SyntheticDataset::generate(128, 16, 4, 7);
-    logln!(Level::Info, "training {kind} ({epochs} epochs on the synthetic task)...");
-    let _span = trace::span!("train", epochs = epochs);
-    train(
-        model.as_ref(),
-        &data,
-        &TrainConfig { epochs, batch_size: 16, lr: 3e-3, ..Default::default() },
-    );
+    let ckpt_name = format!("demo:{kind}:{epochs}");
+    let cached = match store {
+        Some(store) => models::load_params_from_store(model.as_ref(), store, &ckpt_name)
+            .map_err(|e| format!("corrupt checkpoint `{ckpt_name}` in store: {e}"))?,
+        None => false,
+    };
+    if cached {
+        logln!(Level::Info, "loaded trained {kind} from store ({ckpt_name})");
+    } else {
+        logln!(Level::Info, "training {kind} ({epochs} epochs on the synthetic task)...");
+        let _span = trace::span!("train", epochs = epochs);
+        train(
+            model.as_ref(),
+            &data,
+            &TrainConfig { epochs, batch_size: 16, lr: 3e-3, ..Default::default() },
+        );
+        if let Some(store) = store {
+            models::save_params_to_store(model.as_ref(), store, &ckpt_name);
+        }
+    }
     let baseline = models::evaluate(model.as_ref(), &data, 64, 32);
     Ok((model, data, baseline))
 }
@@ -279,8 +326,11 @@ fn cmd_evaluate(args: &[String], global: &GlobalFlags) -> Result<(), String> {
     let spec = flag(args, "--spec").ok_or("evaluate needs --spec")?;
     let epochs = flag(args, "--epochs").and_then(|e| e.parse().ok()).unwrap_or(8);
     let jobs = jobs_flag(args)?;
-    let ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
-    let (model, data, baseline) = demo_model(&model_kind, epochs)?;
+    let mut ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
+    if let Some(store) = &global.store {
+        ge = ge.with_store(store.clone());
+    }
+    let (model, data, baseline) = demo_model(&model_kind, epochs, global.store.as_ref())?;
     let t0 = Instant::now();
     let acc = evaluate_accuracy_jobs(&ge, model.as_ref(), &data, 64, 32, jobs);
     let wall = t0.elapsed().as_secs_f64();
@@ -326,11 +376,14 @@ fn cmd_campaign(args: &[String], global: &GlobalFlags) -> Result<(), String> {
         "metadata" => SiteKind::Metadata,
         other => return Err(format!("unknown site `{other}` (value|metadata)")),
     };
-    let ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
+    let mut ge = GoldenEye::parse(&spec).map_err(|e| e.to_string())?;
+    if let Some(store) = &global.store {
+        ge = ge.with_store(store.clone());
+    }
     if kind == SiteKind::Metadata && !ge.format().supports_metadata_injection() {
         return Err(format!("{} has no injectable metadata", ge.format().name()));
     }
-    let (model, data, _) = demo_model(&model_kind, 8)?;
+    let (model, data, _) = demo_model(&model_kind, 8, global.store.as_ref())?;
     let (x, y) = data.head_batch(8);
     let cfg = CampaignConfig {
         injections_per_layer: injections,
@@ -381,10 +434,15 @@ fn cmd_dse(args: &[String], global: &GlobalFlags) -> Result<(), String> {
         "afp" => DseFamily::Afp,
         other => return Err(format!("unknown family `{other}` (fp|fxp|int|bfp|afp)")),
     };
-    let (model, data, baseline) = demo_model(&model_kind, 8)?;
+    let (model, data, baseline) = demo_model(&model_kind, 8, global.store.as_ref())?;
     outln!("baseline accuracy: {:.1}%, allowed drop {:.1}%", baseline * 100.0, drop * 100.0);
     let t0 = Instant::now();
-    let result = search(family, accuracy_eval(model.as_ref(), &data, 64, 32, jobs), baseline, drop);
+    let result = search(
+        family,
+        accuracy_eval_stored(model.as_ref(), &data, 64, 32, jobs, global.store.clone()),
+        baseline,
+        drop,
+    );
     let wall = t0.elapsed().as_secs_f64();
     for n in &result.nodes {
         outln!(
@@ -501,6 +559,67 @@ fn cmd_conformance(args: &[String], global: &GlobalFlags) -> Result<(), String> 
         ));
     }
     Ok(())
+}
+
+/// `goldeneye store <ls|verify|gc>` — artifact-store maintenance. All
+/// three act on the directory given by the global `--store` flag.
+fn cmd_store(args: &[String], global: &GlobalFlags) -> Result<(), String> {
+    let action = args.first().map(String::as_str);
+    let store = global
+        .store
+        .as_ref()
+        .ok_or("store subcommands need --store <dir> (the store to act on)")?;
+    match action {
+        Some("ls") => {
+            let entries = store.ls().map_err(|e| format!("cannot list store: {e}"))?;
+            outln!("{:<10} {:<28} {:>18} {:>12}", "kind", "spec", "content", "bytes");
+            let mut total = 0u64;
+            for e in &entries {
+                outln!(
+                    "{:<10} {:<28} {:>18} {:>12}",
+                    e.kind.as_str(),
+                    e.spec,
+                    format!("{:016x}", e.content),
+                    e.payload_bytes
+                );
+                total += e.payload_bytes;
+            }
+            outln!(
+                "\n{} artifact(s), {} payload byte(s), generation {}",
+                entries.len(),
+                total,
+                store.generation()
+            );
+            Ok(())
+        }
+        Some("verify") => {
+            let report = store.verify().map_err(|e| format!("cannot verify store: {e}"))?;
+            for (file, reason) in &report.corrupt {
+                outln!("CORRUPT {file}: {reason}");
+            }
+            outln!("{} ok, {} corrupt", report.ok, report.corrupt.len());
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} corrupt artifact(s) (run `store gc` to sweep)",
+                    report.corrupt.len()
+                ))
+            }
+        }
+        Some("gc") => {
+            let report = store.gc().map_err(|e| format!("cannot gc store: {e}"))?;
+            outln!(
+                "kept {}, removed {} corrupt + {} temp file(s); generation now {}",
+                report.kept,
+                report.removed_corrupt,
+                report.removed_tmp,
+                report.generation
+            );
+            Ok(())
+        }
+        _ => Err("store needs an action: ls | verify | gc".into()),
+    }
 }
 
 /// `goldeneye trace <stats|diff|export>` — the offline trace analysis

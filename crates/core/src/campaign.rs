@@ -672,6 +672,12 @@ pub fn run_weight_campaign(
     });
     let width = ge.format().bit_width() as usize;
     let n = cfg.injections_per_layer;
+    // Clean weights quantise to the same codes every trial: convert each
+    // once (through the artifact store when attached) and hand trials a
+    // private clone to flip, instead of re-running the offline conversion
+    // per trial.
+    let clean_quantized: Vec<formats::Quantized> =
+        weights.iter().map(|(_, clean)| ge.quantize_tensor_cached(clean)).collect();
     let _campaign_span =
         trace::span!("campaign", format = ge.format().name(), site = "weight", jobs = cfg.jobs);
     let progress = Progress::new("weight_campaign", (weights.len() * n) as u64);
@@ -682,7 +688,7 @@ pub fn run_weight_campaign(
         let seed = trial_seed(cfg.seed, (idx / n) as u64, trial as u64);
         let mut injector = inject::Injector::new(seed);
         let fault = injector.sample_value_fault(clean.numel(), width);
-        let mut q = ge.format().real_to_format_tensor(clean);
+        let mut q = clean_quantized[idx / n].clone();
         inject::flip_value(ge.format(), &mut q, fault.index, fault.bit);
         let faulty_weight = ge.format().format_to_real_tensor(&q);
         let _guard = param.override_local(faulty_weight);

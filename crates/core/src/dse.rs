@@ -27,8 +27,27 @@ pub fn accuracy_eval<'a>(
     batch_size: usize,
     jobs: usize,
 ) -> impl FnMut(&FormatSpec) -> f32 + 'a {
+    accuracy_eval_stored(model, data, k, batch_size, jobs, None)
+}
+
+/// [`accuracy_eval`] backed by an artifact store: every candidate's
+/// offline weight conversion goes through `store`, so tree nodes that
+/// revisit a `(weights × format)` pair — and whole repeated searches —
+/// reuse the cached conversion instead of recomputing it. Accuracies are
+/// bit-identical to the store-less evaluator.
+pub fn accuracy_eval_stored<'a>(
+    model: &'a dyn nn::Module,
+    data: &'a models::SyntheticDataset,
+    k: usize,
+    batch_size: usize,
+    jobs: usize,
+    store: Option<std::sync::Arc<store::Store>>,
+) -> impl FnMut(&FormatSpec) -> f32 + 'a {
     move |spec| {
-        let ge = crate::GoldenEye::new(spec.build());
+        let mut ge = crate::GoldenEye::new(spec.build());
+        if let Some(store) = &store {
+            ge = ge.with_store(store.clone());
+        }
         crate::evaluate_accuracy_jobs(&ge, model, data, k, batch_size, jobs)
     }
 }

@@ -414,6 +414,7 @@ pub struct GoldenEye {
     filter: LayerFilter,
     range: Arc<RangeProfile>,
     detect: bool,
+    store: Option<Arc<store::Store>>,
 }
 
 impl std::fmt::Debug for GoldenEye {
@@ -439,6 +440,7 @@ impl GoldenEye {
             filter: LayerFilter::ConvLinear,
             range: Arc::new(RangeProfile::new()),
             detect: false,
+            store: None,
         }
     }
 
@@ -478,6 +480,35 @@ impl GoldenEye {
     /// overridden).
     pub fn format_for_layer(&self, layer: usize) -> &dyn NumberFormat {
         self.layer_formats.get(&layer).map(Arc::as_ref).unwrap_or(self.format.as_ref())
+    }
+
+    /// Attaches a content-addressed artifact store: offline weight
+    /// conversions ([`GoldenEye::quantize_weights`] and the weight-campaign
+    /// clean pass) are served from the store when the same
+    /// `(weights × format)` pair was converted before — by this run, an
+    /// earlier one, or a concurrent process sharing the directory. Also
+    /// seeds the format's dequantise LUT from the store when one is cached.
+    ///
+    /// Results are bit-identical with and without a store; only the work
+    /// is shared.
+    pub fn with_store(mut self, store: Arc<store::Store>) -> Self {
+        store.ensure_lut(self.format.as_ref());
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Arc<store::Store>> {
+        self.store.as_ref()
+    }
+
+    /// Quantises one tensor under the default format, through the store
+    /// when one is attached (bit-identical either way).
+    pub fn quantize_tensor_cached(&self, t: &Tensor) -> Quantized {
+        match &self.store {
+            Some(store) => store.get_or_quantize(self.format.as_ref(), t),
+            None => self.format.real_to_format_tensor(t),
+        }
     }
 
     /// The emulated format.
@@ -733,7 +764,7 @@ impl GoldenEye {
         let mut touched = 0;
         model.visit_params(&mut |p: &Param| {
             if p.name().ends_with(".weight") {
-                let q = self.format.real_to_format_tensor(&p.get());
+                let q = self.quantize_tensor_cached(&p.get());
                 p.set(self.format.format_to_real_tensor(&q));
                 touched += 1;
             }

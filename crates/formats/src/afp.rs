@@ -114,6 +114,17 @@ impl NumberFormat for AdaptivFloat {
         format!("afp_e{}m{}", self.params.e, self.params.m)
     }
 
+    fn canonical_spec(&self) -> String {
+        // The spec grammar has no bias-register knob; a widened register
+        // changes quantisation, so it must fork the cache key even though
+        // the resulting string no longer parses.
+        if self.bias_bits == 4 {
+            format!("afp:e{}m{}", self.params.e, self.params.m)
+        } else {
+            format!("afp:e{}m{}:bias{}", self.params.e, self.params.m, self.bias_bits)
+        }
+    }
+
     fn bit_width(&self) -> u32 {
         self.params.width() as u32
     }

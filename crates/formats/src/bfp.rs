@@ -132,6 +132,14 @@ impl NumberFormat for BlockFloatingPoint {
         }
     }
 
+    fn canonical_spec(&self) -> String {
+        if self.is_per_tensor() {
+            format!("bfp:e{}m{}:tensor", self.exp_bits, self.man_bits)
+        } else {
+            format!("bfp:e{}m{}:b{}", self.exp_bits, self.man_bits, self.block_size)
+        }
+    }
+
     /// Per-element data width (sign + mantissa); the shared exponent is
     /// amortised metadata.
     fn bit_width(&self) -> u32 {

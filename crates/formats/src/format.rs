@@ -76,6 +76,24 @@ pub trait NumberFormat: std::fmt::Debug + Send + Sync {
     /// Short human-readable name, e.g. `"fp_e4m3"` or `"bfp_e5m5_b16"`.
     fn name(&self) -> String;
 
+    /// The canonical [`FormatSpec`](crate::FormatSpec) string for this
+    /// format — the stable identity the artifact store keys cached
+    /// quantisations and LUTs by.
+    ///
+    /// Two instances that quantise identically must return the same
+    /// string, and two that differ anywhere must not. For every built-in
+    /// family the returned string parses back (`spec.parse::<FormatSpec>()`)
+    /// to a spec that rebuilds an equivalent format, so shorthand
+    /// constructions (`"fp8"`, `"bfloat16"`) and explicit ones
+    /// (`"fp:e4m3"`, `"fp:e8m7"`) share cache entries.
+    ///
+    /// The default falls back to [`NumberFormat::name`], which also
+    /// encodes every parameter — custom formats outside the spec grammar
+    /// stay uniquely keyed, just not spec-parseable.
+    fn canonical_spec(&self) -> String {
+        self.name()
+    }
+
     /// Bits per data value (excluding amortised metadata).
     fn bit_width(&self) -> u32;
 

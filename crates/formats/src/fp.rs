@@ -359,6 +359,14 @@ impl NumberFormat for FloatingPoint {
         }
     }
 
+    fn canonical_spec(&self) -> String {
+        if self.params.denormals {
+            format!("fp:e{}m{}", self.params.e, self.params.m)
+        } else {
+            format!("fp:e{}m{}:nodn", self.params.e, self.params.m)
+        }
+    }
+
     fn bit_width(&self) -> u32 {
         self.params.width() as u32
     }

@@ -87,6 +87,10 @@ impl NumberFormat for FixedPoint {
         format!("fxp_1_{}_{}", self.int_bits, self.frac_bits)
     }
 
+    fn canonical_spec(&self) -> String {
+        format!("fxp:1:{}:{}", self.int_bits, self.frac_bits)
+    }
+
     fn bit_width(&self) -> u32 {
         1 + self.int_bits + self.frac_bits
     }

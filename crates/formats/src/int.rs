@@ -90,6 +90,10 @@ impl NumberFormat for IntQuant {
         format!("int{}", self.bits)
     }
 
+    fn canonical_spec(&self) -> String {
+        format!("int:{}", self.bits)
+    }
+
     fn bit_width(&self) -> u32 {
         self.bits
     }

@@ -44,6 +44,7 @@ pub mod footprint;
 mod format;
 mod fp;
 mod fxp;
+pub mod hash;
 mod int;
 pub mod lut;
 mod metadata;

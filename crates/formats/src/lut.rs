@@ -82,20 +82,45 @@ impl DequantLut {
         self.table[code as usize]
     }
 
-    /// The raw table, for exhaustive validation by the conformance oracle.
+    /// The raw table, for exhaustive validation by the conformance oracle
+    /// (and for persisting into the artifact store).
     pub fn table(&self) -> &[f32] {
         &self.table
     }
+}
+
+fn cache() -> &'static Mutex<HashMap<String, Option<Arc<DequantLut>>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Option<Arc<DequantLut>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Seeds the process-wide cache with a table loaded from the artifact
+/// store, skipping the `2^width`-decode build. Returns `None` when the
+/// format is LUT-ineligible or `table` has the wrong length; if a table
+/// for this format is already cached, the cached one wins (tables for one
+/// format are bitwise unique, so the two are interchangeable).
+pub fn install_cached(format: &dyn NumberFormat, table: Vec<f32>) -> Option<Arc<DequantLut>> {
+    let width = format.bit_width();
+    if width > MAX_LUT_WIDTH || table.len() != 1usize << width {
+        return None;
+    }
+    let probe = format.real_to_format_tensor(&Tensor::from_vec(vec![0.5, -1.0], [2]));
+    if probe.meta != Metadata::None {
+        return None;
+    }
+    let mut map = cache().lock().unwrap_or_else(|p| p.into_inner());
+    let entry = map
+        .entry(format.name())
+        .or_insert_with(|| Some(Arc::new(DequantLut { width: width as usize, table })));
+    entry.clone()
 }
 
 /// Returns the process-wide cached LUT for `format`, building it on first
 /// use; `None` when the format is ineligible (cached too, so the probe
 /// runs once per format name).
 pub fn cached(format: &dyn NumberFormat) -> Option<Arc<DequantLut>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Option<Arc<DequantLut>>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let name = format.name();
-    let mut map = cache.lock().unwrap_or_else(|p| p.into_inner());
+    let mut map = cache().lock().unwrap_or_else(|p| p.into_inner());
     if let Some(entry) = map.get(&name) {
         return entry.clone();
     }

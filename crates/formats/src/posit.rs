@@ -178,6 +178,10 @@ impl NumberFormat for Posit {
         format!("posit{}_es{}", self.n, self.es)
     }
 
+    fn canonical_spec(&self) -> String {
+        format!("posit:{}:{}", self.n, self.es)
+    }
+
     fn bit_width(&self) -> u32 {
         self.n
     }

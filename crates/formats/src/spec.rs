@@ -271,6 +271,33 @@ mod tests {
     }
 
     #[test]
+    fn canonical_spec_roundtrips_through_the_grammar() {
+        // The store keys artifacts by `NumberFormat::canonical_spec`; for
+        // every spec-constructible format that string must parse back to
+        // the spec that built it, so shorthand and explicit constructions
+        // share cache entries.
+        for s in [
+            "fp:e4m3",
+            "fp:e5m2:nodn",
+            "fp8",
+            "bfloat16",
+            "fxp:1:7:8",
+            "int:8",
+            "int16",
+            "bfp:e8m7:b32",
+            "bfp:e5m5:tensor",
+            "afp:e3m4",
+            "posit:16:1",
+            "posit8",
+        ] {
+            let spec: FormatSpec = s.parse().unwrap();
+            let canon = spec.build().canonical_spec();
+            assert_eq!(canon.parse::<FormatSpec>().unwrap(), spec, "via `{s}` → `{canon}`");
+            assert_eq!(canon, spec.to_string(), "canonical_spec must equal FormatSpec Display");
+        }
+    }
+
+    #[test]
     fn bad_specs_error() {
         for s in ["", "fp", "fp:em", "fxp:2:3:4", "bfp:e5m5", "wat:1", "int:x"] {
             assert!(s.parse::<FormatSpec>().is_err(), "`{s}` should not parse");

@@ -1,63 +1,92 @@
-//! Minimal weight serialisation so benchmark harnesses can train a model
-//! once and reuse it (format: magic, then per-parameter name + shape +
-//! little-endian f32 payload).
+//! Weight serialisation so benchmark harnesses can train a model once and
+//! reuse it.
+//!
+//! Format (`GERSWTS2`): magic, then per-parameter name + shape +
+//! little-endian f32 payload, then an FNV-1a 64-bit hash of everything
+//! after the magic. The hash footer turns silent corruption (truncated
+//! copies, flipped bits on disk) into a load error instead of a
+//! garbage-initialised model. `GERSWTS1` files (no footer) still load for
+//! backwards compatibility.
+//!
+//! Serialisation is split into byte-level codecs ([`params_to_bytes`],
+//! [`params_from_bytes`]) so checkpoints can round-trip through the
+//! content-addressed artifact store ([`save_params_to_store`],
+//! [`load_params_from_store`]) as well as loose files.
 
+use formats::hash::fnv1a;
 use nn::Module;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
+use std::sync::Arc;
 use tensor::Tensor;
 
-const MAGIC: &[u8; 8] = b"GERSWTS1";
+const MAGIC_V2: &[u8; 8] = b"GERSWTS2";
+const MAGIC_V1: &[u8; 8] = b"GERSWTS1";
 
-/// Saves all parameters of `model` to `path`.
-///
-/// # Errors
-///
-/// Returns any underlying I/O error.
-pub fn save_params(model: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
+/// Serialises all parameters of `model` into the `GERSWTS2` byte format,
+/// FNV-1a footer included.
+pub fn params_to_bytes(model: &dyn Module) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V2);
     let params = model.params();
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for p in params {
-        let name = p.name().as_bytes();
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name)?;
+        let name = p.name();
+        let name = name.as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
         let t = p.get();
-        w.write_all(&(t.ndim() as u32).to_le_bytes())?;
+        out.extend_from_slice(&(t.ndim() as u32).to_le_bytes());
         for &d in t.dims() {
-            w.write_all(&(d as u32).to_le_bytes())?;
+            out.extend_from_slice(&(d as u32).to_le_bytes());
         }
         for &v in t.as_slice() {
-            w.write_all(&v.to_le_bytes())?;
+            out.extend_from_slice(&v.to_le_bytes());
         }
     }
-    w.flush()
+    let footer = fnv1a(&out[MAGIC_V2.len()..]);
+    out.extend_from_slice(&footer.to_le_bytes());
+    out
 }
 
-/// Loads parameters saved by [`save_params`] into `model`, matching by
-/// parameter name.
+/// Loads parameters serialised by [`params_to_bytes`] (or the footer-less
+/// `GERSWTS1` layout) into `model`, matching by parameter name.
 ///
 /// # Errors
 ///
-/// Returns an error if the file is malformed, a parameter is missing, or a
-/// shape disagrees.
-pub fn load_params(model: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic in weight file"));
+/// Returns an error if the magic is unknown, the FNV-1a footer disagrees
+/// with the body (truncation, bit rot), the structure is malformed, a
+/// parameter is missing, or a shape disagrees.
+pub fn params_from_bytes(model: &dyn Module, bytes: &[u8]) -> io::Result<()> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.len() < 8 {
+        return Err(bad("weight data shorter than its magic"));
     }
+    let (magic, rest) = bytes.split_at(8);
+    let body = match magic {
+        m if m == MAGIC_V2 => {
+            if rest.len() < 8 {
+                return Err(bad("weight data truncated before hash footer"));
+            }
+            let (body, footer) = rest.split_at(rest.len() - 8);
+            let stored = u64::from_le_bytes(footer.try_into().unwrap());
+            if fnv1a(body) != stored {
+                return Err(bad("weight data corrupt: content hash mismatch"));
+            }
+            body
+        }
+        m if m == MAGIC_V1 => rest,
+        _ => return Err(bad("bad magic in weight data")),
+    };
+
+    let mut r = body;
     let count = read_u32(&mut r)? as usize;
     let mut loaded = std::collections::HashMap::new();
     for _ in 0..count {
         let name_len = read_u32(&mut r)? as usize;
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 parameter name"))?;
+        r.read_exact(&mut name).map_err(|_| bad("weight data truncated in name"))?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-utf8 parameter name"))?;
         let ndim = read_u32(&mut r)? as usize;
         let mut dims = Vec::with_capacity(ndim);
         for _ in 0..ndim {
@@ -67,7 +96,7 @@ pub fn load_params(model: &dyn Module, path: impl AsRef<Path>) -> io::Result<()>
         let mut data = vec![0.0f32; n];
         let mut buf = [0u8; 4];
         for v in &mut data {
-            r.read_exact(&mut buf)?;
+            r.read_exact(&mut buf).map_err(|_| bad("weight data truncated in payload"))?;
             *v = f32::from_le_bytes(buf);
         }
         loaded.insert(name, Tensor::from_vec(data, dims));
@@ -83,14 +112,61 @@ pub fn load_params(model: &dyn Module, path: impl AsRef<Path>) -> io::Result<()>
     } else {
         Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("parameters not found/compatible in weight file: {missing:?}"),
+            format!("parameters not found/compatible in weight data: {missing:?}"),
         ))
+    }
+}
+
+/// Saves all parameters of `model` to `path` (with the `GERSWTS2` hash
+/// footer).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params(model: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, params_to_bytes(model))
+}
+
+/// Loads parameters saved by [`save_params`] into `model`, verifying the
+/// content-hash footer first.
+///
+/// # Errors
+///
+/// Returns an error if the file is corrupt or malformed, a parameter is
+/// missing, or a shape disagrees.
+pub fn load_params(model: &dyn Module, path: impl AsRef<Path>) -> io::Result<()> {
+    params_from_bytes(model, &std::fs::read(path)?)
+}
+
+/// Stores `model`'s parameters in the artifact store as the checkpoint
+/// named `name`.
+pub fn save_params_to_store(model: &dyn Module, store: &Arc<store::Store>, name: &str) {
+    store.put_checkpoint(name, params_to_bytes(model));
+}
+
+/// Loads the checkpoint named `name` from the store into `model`. Returns
+/// `Ok(false)` when the store has no such checkpoint (a cache miss, not an
+/// error).
+///
+/// # Errors
+///
+/// Returns an error if a stored checkpoint exists but is corrupt or does
+/// not fit the model.
+pub fn load_params_from_store(
+    model: &dyn Module,
+    store: &Arc<store::Store>,
+    name: &str,
+) -> io::Result<bool> {
+    match store.get_checkpoint(name) {
+        Some(bytes) => params_from_bytes(model, &bytes).map(|()| true),
+        None => Ok(false),
     }
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
+    r.read_exact(&mut buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "weight data truncated"))?;
     Ok(u32::from_le_bytes(buf))
 }
 
@@ -159,5 +235,53 @@ mod tests {
         let b = ResNet::new(ResNetConfig::resnet18(4, 3), &mut rng);
         assert!(load_params(&b, &path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_weight_files_error_instead_of_garbage_loading() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = ResNet::new(ResNetConfig::tiny(3), &mut rng);
+        let good = params_to_bytes(&a);
+        let fresh = || {
+            let mut r = StdRng::seed_from_u64(8);
+            ResNet::new(ResNetConfig::tiny(3), &mut r)
+        };
+        assert!(params_from_bytes(&fresh(), &good).is_ok(), "pristine bytes must load");
+
+        // Truncation anywhere after the magic must error.
+        for cut in [good.len() - 1, good.len() - 9, good.len() / 2, 10] {
+            let err = params_from_bytes(&fresh(), &good[..cut])
+                .expect_err("truncated weight data must not load");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+
+        // A single flipped payload bit must be caught by the hash footer.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        let err = params_from_bytes(&fresh(), &flipped)
+            .expect_err("bit-flipped weight data must not load");
+        assert!(err.to_string().contains("hash mismatch"), "got: {err}");
+
+        // A flipped footer bit likewise.
+        let mut bad_footer = good.clone();
+        let n = bad_footer.len();
+        bad_footer[n - 3] ^= 0x01;
+        assert!(params_from_bytes(&fresh(), &bad_footer).is_err());
+    }
+
+    #[test]
+    fn store_checkpoint_roundtrip() {
+        let store = Arc::new(store::Store::in_memory());
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = ResNet::new(ResNetConfig::tiny(3), &mut rng);
+        assert!(!load_params_from_store(&a, &store, "ck").unwrap(), "empty store misses");
+        save_params_to_store(&a, &store, "ck");
+        let mut rng2 = StdRng::seed_from_u64(12);
+        let b = ResNet::new(ResNetConfig::tiny(3), &mut rng2);
+        assert!(load_params_from_store(&b, &store, "ck").unwrap());
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.get(), pb.get(), "param {} differs", pa.name());
+        }
     }
 }

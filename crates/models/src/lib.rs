@@ -28,6 +28,9 @@ mod trainer;
 
 pub use data::SyntheticDataset;
 pub use deit::{DeitConfig, VisionTransformer};
-pub use io::{load_params, save_params};
+pub use io::{
+    load_params, load_params_from_store, params_from_bytes, params_to_bytes, save_params,
+    save_params_to_store,
+};
 pub use resnet::{BlockKind, ResNet, ResNetConfig};
 pub use trainer::{evaluate, forward_logits, train, EpochLog, TrainConfig};

@@ -1,0 +1,120 @@
+//! Cache-key discipline over the full standard format zoo.
+//!
+//! Two invariants keep the store safe and useful:
+//!
+//! 1. **No collisions**: specs that quantise differently must never share
+//!    a key — pairwise-distinct ids across all 22 zoo formats for the same
+//!    tensor, and distinct ids for the same format over different tensors.
+//! 2. **No fragmentation**: the same format constructed two ways (spec
+//!    shorthand vs explicit grammar, builder vs parsed) must share a key,
+//!    or warm runs stop hitting.
+
+use conformance::zoo::standard_zoo;
+use formats::{BlockFloatingPoint, FloatingPoint, NumberFormat, Posit};
+use store::ArtifactKey;
+use tensor::Tensor;
+
+fn probe() -> Tensor {
+    Tensor::from_vec((0..64).map(|i| (i as f32 * 0.37).sin() * 9.0).collect(), [4, 16])
+}
+
+#[test]
+fn zoo_keys_are_pairwise_distinct_for_one_tensor() {
+    let w = probe();
+    let zoo = standard_zoo();
+    let keys: Vec<(String, u64)> = zoo
+        .iter()
+        .map(|spec| {
+            let f = spec.build();
+            (spec.to_string(), ArtifactKey::quantized(&w, f.as_ref()).id())
+        })
+        .collect();
+    for (i, (spec_a, id_a)) in keys.iter().enumerate() {
+        for (spec_b, id_b) in &keys[i + 1..] {
+            assert_ne!(id_a, id_b, "{spec_a} and {spec_b} share a store key");
+        }
+    }
+}
+
+#[test]
+fn same_format_different_tensors_get_distinct_keys() {
+    let fp8 = "fp:e4m3".parse::<formats::FormatSpec>().unwrap().build();
+    let a = probe();
+    let mut v = a.as_slice().to_vec();
+    v[17] += 0.25;
+    let b = Tensor::from_vec(v, [4, 16]);
+    let reshaped = Tensor::from_vec(a.as_slice().to_vec(), [16, 4]);
+    let ka = ArtifactKey::quantized(&a, fp8.as_ref());
+    assert_ne!(ka.id(), ArtifactKey::quantized(&b, fp8.as_ref()).id());
+    assert_ne!(
+        ka.id(),
+        ArtifactKey::quantized(&reshaped, fp8.as_ref()).id(),
+        "shape is part of content identity"
+    );
+}
+
+#[test]
+fn shorthand_and_explicit_specs_share_keys() {
+    let w = probe();
+    let pairs = [
+        ("fp8", "fp:e4m3"),
+        ("bfloat16", "fp:e8m7"),
+        ("bf16", "fp:e8m7"),
+        ("fp16", "fp:e5m10"),
+        ("posit8", "posit:8:0"),
+        ("posit16", "posit:16:1"),
+        ("int8", "int:8"),
+        ("int16", "int:16"),
+    ];
+    for (short, explicit) in pairs {
+        let a = short.parse::<formats::FormatSpec>().unwrap().build();
+        let b = explicit.parse::<formats::FormatSpec>().unwrap().build();
+        let ka = ArtifactKey::quantized(&w, a.as_ref());
+        let kb = ArtifactKey::quantized(&w, b.as_ref());
+        assert_eq!(ka, kb, "{short} and {explicit} fragment the cache");
+    }
+}
+
+#[test]
+fn builder_and_parsed_constructions_share_keys() {
+    let w = probe();
+    let cases: Vec<(Box<dyn NumberFormat>, &str)> = vec![
+        (Box::new(FloatingPoint::fp8_e4m3()), "fp:e4m3"),
+        (Box::new(FloatingPoint::new(5, 2)), "fp:e5m2"),
+        (Box::new(Posit::new(16, 1)), "posit:16:1"),
+        (Box::new(BlockFloatingPoint::new(5, 5, 16)), "bfp:e5m5:b16"),
+        (Box::new(BlockFloatingPoint::per_tensor(5, 5)), "bfp:e5m5:tensor"),
+    ];
+    for (built, spec) in cases {
+        let parsed = spec.parse::<formats::FormatSpec>().unwrap().build();
+        assert_eq!(
+            ArtifactKey::quantized(&w, built.as_ref()),
+            ArtifactKey::quantized(&w, parsed.as_ref()),
+            "builder vs parsed {spec}"
+        );
+    }
+}
+
+#[test]
+fn canonical_specs_are_unique_across_the_zoo() {
+    let mut specs: Vec<String> =
+        standard_zoo().iter().map(|s| s.build().canonical_spec()).collect();
+    let n = specs.len();
+    specs.sort();
+    specs.dedup();
+    assert_eq!(specs.len(), n, "duplicate canonical specs in the zoo");
+}
+
+#[test]
+fn warm_store_hits_across_the_whole_zoo() {
+    let store = store::Store::in_memory();
+    let w = probe();
+    let zoo = standard_zoo();
+    let cold: Vec<_> = zoo.iter().map(|s| store.get_or_quantize(s.build().as_ref(), &w)).collect();
+    assert_eq!(store.stats().misses, zoo.len() as u64);
+    let warm: Vec<_> = zoo.iter().map(|s| store.get_or_quantize(s.build().as_ref(), &w)).collect();
+    assert_eq!(store.stats().hits, zoo.len() as u64, "every format must hit warm");
+    for ((c, h), spec) in cold.iter().zip(&warm).zip(&zoo) {
+        assert_eq!(c, h, "{spec}: warm hit not bit-identical to cold conversion");
+    }
+}

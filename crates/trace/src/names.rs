@@ -29,6 +29,14 @@ pub const FORMATS_LUT_BUILDS: &str = "formats.lut.builds";
 pub const FORMATS_QUANTIZE_CHUNKED_NS: &str = "formats.quantize.chunked_ns";
 /// Elements quantised by the chunk-parallel path.
 pub const FORMATS_QUANTIZE_CHUNKED_ELEMS: &str = "formats.quantize.chunked_elems";
+/// Artifact-store lookups that found a cached artifact (memory or disk).
+pub const STORE_HIT: &str = "store.hit";
+/// Artifact-store lookups that missed and had to compute the artifact.
+pub const STORE_MISS: &str = "store.miss";
+/// Payload bytes served from the artifact store instead of recomputed.
+pub const STORE_BYTES_REUSED: &str = "store.bytes_reused";
+/// Payload bytes written into the artifact store.
+pub const STORE_BYTES_WRITTEN: &str = "store.bytes_written";
 /// GEMM packing time.
 pub const TENSOR_GEMM_PACK_NS: &str = "tensor.gemm.pack_ns";
 /// GEMM micro-kernel time.
@@ -51,6 +59,10 @@ pub const ALL_METRICS: &[&str] = &[
     HOOK_DEQUANTIZE_NS,
     HOOK_LOCK_WAIT_NS,
     HOOK_QUANTIZE_NS,
+    STORE_BYTES_REUSED,
+    STORE_BYTES_WRITTEN,
+    STORE_HIT,
+    STORE_MISS,
     TENSOR_GEMM_FLOPS,
     TENSOR_GEMM_KERNEL_NS,
     TENSOR_GEMM_PACK_NS,
