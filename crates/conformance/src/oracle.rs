@@ -14,7 +14,9 @@
 //! sweeps in `tests/` add randomised coverage.
 
 use crate::laws::{Law, Violation};
-use formats::{f32_saturate, mul_pow2, FloatingPoint, FormatSpec, Metadata, NumberFormat};
+use formats::{
+    f32_saturate, mul_pow2, FloatingPoint, FormatSpec, GoldenFloat, Metadata, MxElem, NumberFormat,
+};
 use tensor::Tensor;
 
 /// Per-family law bindings and semantics.
@@ -61,6 +63,28 @@ fn flags_for(spec: &FormatSpec) -> FamilyFlags {
             signed_zero: false,
             allows_inf: false,
             allows_nan: true, // NaR
+            meta_flip_finite: false,
+        },
+        // MX element families differ: FP4/FP6 are all-finite, FP8 e4m3
+        // reclaims all specials but one NaN, FP8 e5m2 keeps IEEE specials.
+        FormatSpec::Mx { elem, .. } => FamilyFlags {
+            signed_zero: true,
+            allows_inf: matches!(elem, MxElem::Fp8E5m2),
+            allows_nan: matches!(elem, MxElem::Fp8E4m3 | MxElem::Fp8E5m2),
+            meta_flip_finite: true,
+        },
+        // P3109 profiles: one NaN at the sign|zeros code, no Inf, no −0.
+        FormatSpec::P3109 { .. } => FamilyFlags {
+            signed_zero: false,
+            allows_inf: false,
+            allows_nan: true,
+            meta_flip_finite: false,
+        },
+        // GoldenFloat is an aliased FloatingPoint; same IEEE-style flags.
+        FormatSpec::Gf { .. } => FamilyFlags {
+            signed_zero: true,
+            allows_inf: true,
+            allows_nan: true,
             meta_flip_finite: false,
         },
     }
@@ -199,6 +223,13 @@ pub fn check_format(spec: &FormatSpec) -> FormatReport {
             let fp = FloatingPoint::new(exp, man).with_denormals(denormals);
             check_fast_slow(&fp, &decoded, spec, &ctx, &mut report);
         }
+        // GoldenFloat delegates to the equivalent FloatingPoint, so it gets
+        // the same bit-twiddle-vs-reference cross-check.
+        if let FormatSpec::Gf { n } = *spec {
+            let (e, m) = GoldenFloat::phi_split(n);
+            let fp = FloatingPoint::new(e, m);
+            check_fast_slow(&fp, &decoded, spec, &ctx, &mut report);
+        }
     }
     check_lut(format.as_ref(), spec, &mut report);
     report
@@ -322,8 +353,12 @@ fn check_code_space(
 fn grid_for_wide_format(format: &dyn NumberFormat) -> Vec<f32> {
     let dr = format.dynamic_range();
     let mut values = vec![-0.0f32, 0.0];
-    let lo = dr.min_abs.log2().floor() as i64 - 1;
-    let hi = dr.max_abs.log2().ceil() as i64 + 1;
+    // Clamp to the f32 fabric's binade range: decoded values are f32, so
+    // grid points beyond it only saturate/flush (and an extreme format's
+    // f64 bounds — e.g. GF32's 2^−1042 min denormal — would explode the
+    // exponent loop).
+    let lo = (dr.min_abs.max(f64::MIN_POSITIVE).log2().floor() as i64 - 1).max(-150);
+    let hi = (dr.max_abs.min(f64::MAX).log2().ceil() as i64 + 1).min(129);
     for e in lo..=hi {
         for frac in [1.0, 1.25, 1.5, 1.75] {
             let v = f32_saturate(mul_pow2(frac, e));
@@ -596,6 +631,9 @@ pub fn family_name(spec: &FormatSpec) -> &'static str {
         FormatSpec::Bfp { .. } => "bfp",
         FormatSpec::Afp { .. } => "afp",
         FormatSpec::Posit { .. } => "posit",
+        FormatSpec::Mx { .. } => "mx",
+        FormatSpec::P3109 { .. } => "p3109",
+        FormatSpec::Gf { .. } => "gf",
     }
 }
 
@@ -617,7 +655,30 @@ mod tests {
 
     #[test]
     fn oracle_passes_one_format_per_family() {
-        for s in ["fp:e4m3", "fxp:1:3:4", "int:8", "bfp:e5m5:b16", "afp:e4m3", "posit:8:0"] {
+        for s in [
+            "fp:e4m3",
+            "fxp:1:3:4",
+            "int:8",
+            "bfp:e5m5:b16",
+            "afp:e4m3",
+            "posit:8:0",
+            "mx:fp8e4m3:b32",
+            "p3109:e4m3",
+            "gf:8",
+        ] {
+            assert_conformant(s);
+        }
+    }
+
+    #[test]
+    fn oracle_passes_every_mx_element_type() {
+        for s in [
+            "mx:fp4e2m1:b32",
+            "mx:fp6e2m3:b32",
+            "mx:fp6e3m2:b32",
+            "mx:fp8e4m3:b32",
+            "mx:fp8e5m2:b32",
+        ] {
             assert_conformant(s);
         }
     }

@@ -1,4 +1,4 @@
-//! Golden conformance vectors: checked-in JSONL files recording, for six
+//! Golden conformance vectors: checked-in JSONL files recording, for nine
 //! reference formats, the exact decoded value of (a sample of) every code
 //! under a fixed, deterministic metadata context — plus an FNV-1a hash over
 //! the *entire* code space so even unsampled codes are pinned.
@@ -11,9 +11,19 @@ use formats::{FormatSpec, Metadata};
 use trace::Json;
 
 /// The formats with checked-in golden vectors: FP8, FP16, bf16, INT8, BFP,
-/// AFP (the ISSUE's required set).
-pub const GOLDEN_SPECS: &[&str] =
-    &["fp:e4m3", "fp:e5m10", "fp:e8m7", "int:8", "bfp:e5m5:b16", "afp:e4m3"];
+/// AFP, plus one representative per microscaling-era family (MX, P3109,
+/// GoldenFloat).
+pub const GOLDEN_SPECS: &[&str] = &[
+    "fp:e4m3",
+    "fp:e5m10",
+    "fp:e8m7",
+    "int:8",
+    "bfp:e5m5:b16",
+    "afp:e4m3",
+    "mx:fp4e2m1:b32",
+    "p3109:e4m3",
+    "gf:8",
+];
 
 /// Sampling stride for wide code spaces: every code for ≤8-bit formats,
 /// every 257th code (coprime with 2^16) for 16-bit ones. The FNV hash
@@ -123,6 +133,9 @@ pub fn embedded(spec: &FormatSpec) -> Option<&'static str> {
         "int8.jsonl" => Some(include_str!("../golden/int8.jsonl")),
         "bfp_e5m5_b16.jsonl" => Some(include_str!("../golden/bfp_e5m5_b16.jsonl")),
         "afp_e4m3.jsonl" => Some(include_str!("../golden/afp_e4m3.jsonl")),
+        "mx_fp4e2m1_b32.jsonl" => Some(include_str!("../golden/mx_fp4e2m1_b32.jsonl")),
+        "p3109_e4m3.jsonl" => Some(include_str!("../golden/p3109_e4m3.jsonl")),
+        "gf8_e3m4.jsonl" => Some(include_str!("../golden/gf8_e3m4.jsonl")),
         _ => None,
     }
 }

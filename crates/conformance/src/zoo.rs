@@ -38,6 +38,20 @@ pub const ZOO_SPECS: &[&str] = &[
     // Posits.
     "posit:8:0",
     "posit:16:1",
+    // OCP Microscaling (MX): E8M0 block scale over narrow FP elements.
+    "mx:fp4e2m1:b32",
+    "mx:fp6e2m3:b32",
+    "mx:fp6e3m2:b32",
+    "mx:fp8e4m3:b32",
+    "mx:fp8e5m2:b32",
+    // P3109-style saturating FP8 profiles (no Inf, single NaN, no −0).
+    "p3109:e3m4",
+    "p3109:e4m3",
+    "p3109:e5m2",
+    // GoldenFloat static φ-splits.
+    "gf:8",
+    "gf:16",
+    "gf:32",
 ];
 
 /// Parses the zoo. Panics only if a `ZOO_SPECS` literal is invalid, which
@@ -57,7 +71,7 @@ mod tests {
         let mut families: Vec<&str> = zoo.iter().map(crate::oracle::family_name).collect();
         families.sort_unstable();
         families.dedup();
-        assert_eq!(families, ["afp", "bfp", "fp", "fxp", "int", "posit"]);
+        assert_eq!(families, ["afp", "bfp", "fp", "fxp", "gf", "int", "mx", "p3109", "posit"]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use conformance::oracle::check_format;
 use conformance::{standard_zoo, vectors};
-use formats::{FloatingPoint, FormatSpec};
+use formats::{FloatingPoint, FormatSpec, GoldenFloat};
 use proptest::prelude::*;
 use tensor::Tensor;
 
@@ -28,7 +28,8 @@ fn standard_zoo_has_zero_violations() {
             assert!(report.codes_checked >= 1 << report.bit_width, "{spec}");
         }
     }
-    assert!(exhaustive >= 15, "most zoo formats must be enumerable");
+    assert!(exhaustive >= 25, "most zoo formats must be enumerable");
+    assert!(standard_zoo().len() >= 30, "the zoo must span the microscaling-era families");
 }
 
 /// Golden vectors stay bit-identical to the checked-in files.
@@ -47,6 +48,13 @@ fn zoo_fp_instances() -> Vec<(FormatSpec, FloatingPoint)> {
         .filter_map(|spec| match spec {
             FormatSpec::Fp { exp, man, denormals } => {
                 Some((spec, FloatingPoint::new(exp, man).with_denormals(denormals)))
+            }
+            // GoldenFloat is arithmetically the φ-split FloatingPoint, so it
+            // joins the fast-vs-reference differential (incl. 32-bit GF32,
+            // which the exhaustive oracle skips).
+            FormatSpec::Gf { n } => {
+                let (e, m) = GoldenFloat::phi_split(n);
+                Some((spec, FloatingPoint::new(e, m)))
             }
             _ => None,
         })

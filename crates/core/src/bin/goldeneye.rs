@@ -191,7 +191,7 @@ fn print_usage() {
                                             half-width falls to CI\n\
                     [--sampler uniform|stratified]  bit-position sampling policy\n\
            dse --model cnn|vit --family <fam>      binary-tree format search\n\
-               [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp\n\
+               [--drop 0.02] [--jobs N]  fam: fp|fxp|int|bfp|afp|mx\n\
            conformance [--all | <spec>...]         bit-exact format conformance oracle\n\
                        [--report <file.jsonl>]     (exhaustive for data widths ≤ 16 bits)\n\
                        [--write-golden <dir>]      regenerate golden vectors\n\
@@ -216,7 +216,10 @@ fn print_usage() {
          --jobs N runs on N worker threads (0 = all cores); results are\n\
          bit-identical to --jobs 1.\n\n\
          FORMAT SPECS: fp:eXmY[:nodn] fxp:1:I:F int:B bfp:eXmY:(bN|tensor) afp:eXmY posit:N:ES\n\
-                       fp32 fp16 bfloat16 tf32 dlfloat16 fp8 int8 int16 posit8 posit16"
+                       mx:<elem>:bN (elem: fp4e2m1 fp6e2m3 fp6e3m2 fp8e4m3 fp8e5m2)\n\
+                       p3109:eXmY (1+X+Y = 8) gf:N (N: 8|16|32)\n\
+                       fp32 fp16 bfloat16 tf32 dlfloat16 fp8 int8 int16 posit8 posit16\n\
+                       mxfp4 mxfp6 mxfp8 (block-32 shorthands)"
     );
 }
 
@@ -432,7 +435,8 @@ fn cmd_dse(args: &[String], global: &GlobalFlags) -> Result<(), String> {
         "int" => DseFamily::Int,
         "bfp" => DseFamily::Bfp { block: usize::MAX },
         "afp" => DseFamily::Afp,
-        other => return Err(format!("unknown family `{other}` (fp|fxp|int|bfp|afp)")),
+        "mx" => DseFamily::Mx { block: 32 },
+        other => return Err(format!("unknown family `{other}` (fp|fxp|int|bfp|afp|mx)")),
     };
     let (model, data, baseline) = demo_model(&model_kind, 8, global.store.as_ref())?;
     outln!("baseline accuracy: {:.1}%, allowed drop {:.1}%", baseline * 100.0, drop * 100.0);

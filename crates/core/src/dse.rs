@@ -9,7 +9,7 @@
 //! and *right* (more conservative) when it drops, exactly the tree walk of
 //! the paper's Figure 5; the whole search visits at most 16 nodes.
 
-use formats::FormatSpec;
+use formats::{FormatSpec, MxElem};
 
 /// Builds the standard accuracy-evaluation closure for [`search`]:
 /// each candidate format is scored with
@@ -68,6 +68,12 @@ pub enum DseFamily {
     },
     /// AdaptivFloat.
     Afp,
+    /// OCP Microscaling with the given block size: the width phase walks
+    /// the MXFP8 → MXFP6 → MXFP4 element ladder.
+    Mx {
+        /// Elements per shared E8M0 scale.
+        block: usize,
+    },
 }
 
 impl DseFamily {
@@ -90,6 +96,17 @@ impl DseFamily {
             DseFamily::Afp => {
                 let e = (w / 4).clamp(2, 8);
                 FormatSpec::Afp { exp: e, man: (w - 1 - e).max(1) }
+            }
+            DseFamily::Mx { block } => {
+                // MX element widths are discrete (4, 6, 8): snap down.
+                let elem = if w >= 8 {
+                    MxElem::Fp8E4m3
+                } else if w >= 6 {
+                    MxElem::Fp6E2m3
+                } else {
+                    MxElem::Fp4E2m1
+                };
+                FormatSpec::Mx { elem, block }
             }
         }
     }
@@ -145,6 +162,26 @@ impl DseFamily {
                 // radix = shared-exponent width (2..=8); data width fixed.
                 let m = (w - 1).clamp(1, 23);
                 Some((2, 8, Box::new(move |e: u32| FormatSpec::Bfp { exp: e, man: m, block })))
+            }
+            DseFamily::Mx { block } => {
+                // radix = element exponent width at the snapped width: the
+                // OCP pairs e4m3/e5m2 (8-bit) and e2m3/e3m2 (6-bit). MXFP4
+                // has a single element type, so no radix phase.
+                let pick = move |e: u32| {
+                    let elem = match (w >= 8, w >= 6, e) {
+                        (true, _, 4) => MxElem::Fp8E4m3,
+                        (true, _, _) => MxElem::Fp8E5m2,
+                        (false, true, 2) => MxElem::Fp6E2m3,
+                        (false, true, _) => MxElem::Fp6E3m2,
+                        _ => MxElem::Fp4E2m1,
+                    };
+                    FormatSpec::Mx { elem, block }
+                };
+                match w {
+                    _ if w >= 8 => Some((4, 5, Box::new(pick) as Box<dyn Fn(u32) -> FormatSpec>)),
+                    _ if w >= 6 => Some((2, 3, Box::new(pick) as Box<dyn Fn(u32) -> FormatSpec>)),
+                    _ => None,
+                }
             }
             DseFamily::Int => None,
         }
@@ -222,6 +259,9 @@ fn total_bits(spec: &FormatSpec) -> u32 {
         FormatSpec::Bfp { man, .. } => 1 + man,
         FormatSpec::Afp { exp, man } => 1 + exp + man,
         FormatSpec::Posit { n, .. } => n,
+        FormatSpec::Mx { elem, .. } => elem.bit_width(),
+        FormatSpec::P3109 { exp, man } => 1 + exp + man,
+        FormatSpec::Gf { n } => n,
     }
 }
 
@@ -432,6 +472,7 @@ mod tests {
                 DseFamily::Int,
                 DseFamily::Bfp { block: 16 },
                 DseFamily::Afp,
+                DseFamily::Mx { block: 32 },
             ] {
                 let res = search(fam, surface(knee), 0.9, 0.01);
                 assert!(res.nodes.len() <= 16, "{fam:?} knee {knee}: {} nodes", res.nodes.len());

@@ -436,6 +436,78 @@ mod tests {
     }
 
     #[test]
+    fn per_tensor_block_spanning_many_chunks_is_thread_count_invariant() {
+        // Audit of the whole-tensor sentinel (`block_size == usize::MAX`)
+        // against the chunk-parallel path: one shared-exponent block spans
+        // many QUANT_CHUNK=4096 tasks, and the two-phase block max must
+        // make the result byte-identical to the serial path. >4096 elements
+        // so the tensor genuinely crosses chunk boundaries.
+        use tensor::parallel::with_threads;
+        let n = 10_007;
+        let x = Tensor::from_vec((0..n).map(|i| ((i as f32) * 0.371).sin() * 80.0).collect(), [n]);
+        let bfp = BlockFloatingPoint::per_tensor(5, 5);
+        let serial = {
+            let _g = with_threads(1);
+            bfp.real_to_format_tensor(&x)
+        };
+        assert_eq!(serial.meta.word_count(), 1, "one register for the whole tensor");
+        for threads in [2, 8] {
+            let _g = with_threads(threads);
+            let par = bfp.real_to_format_tensor(&x);
+            assert_eq!(par.meta, serial.meta, "{threads} threads");
+            for (i, (a, b)) in
+                par.values.as_slice().iter().zip(serial.values.as_slice()).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads, element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_tensor_sentinel_matches_explicit_whole_tensor_block() {
+        // `bfp:…:tensor` must quantise exactly like `block_size == n`: the
+        // sentinel is a spelling, not a different format.
+        let n = 5000;
+        let x = Tensor::from_vec((0..n).map(|i| ((i as f32) - 2500.0) * 0.013).collect(), [n]);
+        let sentinel = BlockFloatingPoint::per_tensor(5, 5).real_to_format_tensor(&x);
+        let explicit = BlockFloatingPoint::new(5, 5, n).real_to_format_tensor(&x);
+        for (a, b) in sentinel.values.as_slice().iter().zip(explicit.values.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let Metadata::SharedExponents { codes: ca, .. } = &sentinel.meta else { panic!() };
+        let Metadata::SharedExponents { codes: cb, .. } = &explicit.meta else { panic!() };
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn non_dividing_block_sizes_tail_is_thread_count_invariant() {
+        // Block sizes that divide neither the tensor length nor QUANT_CHUNK:
+        // the tail block is shorter, and whole blocks must never straddle
+        // task boundaries.
+        use tensor::parallel::with_threads;
+        let n = 9001;
+        let x = Tensor::from_vec((0..n).map(|i| ((i as f32) * 1.618).cos() * 300.0).collect(), [n]);
+        for block in [3usize, 48, 100, 5000] {
+            let bfp = BlockFloatingPoint::new(5, 5, block);
+            let serial = {
+                let _g = with_threads(1);
+                bfp.real_to_format_tensor(&x)
+            };
+            assert_eq!(serial.meta.word_count(), n.div_ceil(block), "block {block}");
+            for threads in [2, 8] {
+                let _g = with_threads(threads);
+                let par = bfp.real_to_format_tensor(&x);
+                assert_eq!(par.meta, serial.meta, "block {block}, {threads} threads");
+                for (i, (a, b)) in
+                    par.values.as_slice().iter().zip(serial.values.as_slice()).enumerate()
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "block {block}, element {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn law_meta_flip_range_per_tensor_block_no_overflow() {
         // Law `meta-flip-range` on a per-tensor block: `block_size ==
         // usize::MAX` must not overflow the `b·bs` / `start+bs` index

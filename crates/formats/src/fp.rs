@@ -199,9 +199,18 @@ impl FpParams {
     }
 }
 
-/// `2^k` in f64, exact for the exponent range used here.
+/// `2^k` in f64, exact for the exponent range used here — including the
+/// subnormal range `−1074 ≤ k < −1022` (an e11 format's smallest denormal
+/// is 2^−1042, which naive `powi` underflows to 0 because the intermediate
+/// 2^1042 overflows before the reciprocal).
 pub(crate) fn exp2(k: i64) -> f64 {
-    (2.0f64).powi(k as i32)
+    if k >= -1022 {
+        (2.0f64).powi(k as i32)
+    } else {
+        // Split so each factor stays in range; powers of two multiply
+        // exactly even when the product is subnormal.
+        (2.0f64).powi(-1022) * (2.0f64).powi((k + 1022).max(-100) as i32)
+    }
 }
 
 /// `x · 2^k` computed without intermediate overflow: the scaling is applied
@@ -403,6 +412,19 @@ impl NumberFormat for FloatingPoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exp2_reaches_the_f64_subnormal_range() {
+        // Regression: powi(−1042) underflowed to 0, zeroing an e11 format's
+        // min_abs (GF32 = e11m20 has min denormal 2^−1042).
+        assert_eq!(exp2(-1022), f64::MIN_POSITIVE);
+        assert_eq!(exp2(-1042), f64::MIN_POSITIVE / (2.0f64).powi(20));
+        assert!(exp2(-1074) > 0.0, "smallest f64 subnormal");
+        assert_eq!(exp2(-1075), 0.0);
+        assert_eq!(exp2(-2000), 0.0);
+        let gf32 = FpParams::new(11, 20, true);
+        assert!(gf32.min_denormal() > 0.0);
+    }
 
     #[test]
     fn fp32_quantize_is_identity_on_f32() {

@@ -18,9 +18,12 @@
 //! | `real_to_format(value)` | [`NumberFormat::real_to_format`] |
 //! | `format_to_real(bitstring)` | [`NumberFormat::format_to_real`] |
 //!
-//! Five families are provided ([`FloatingPoint`], [`FixedPoint`],
-//! [`IntQuant`], [`BlockFloatingPoint`], [`AdaptivFloat`]); new ones plug in
-//! by implementing the trait.
+//! The paper's five families are provided ([`FloatingPoint`],
+//! [`FixedPoint`], [`IntQuant`], [`BlockFloatingPoint`], [`AdaptivFloat`]),
+//! plus [`Posit`] and the microscaling-era additions: OCP MX ([`MxFloat`]),
+//! saturating P3109-style FP8 profiles ([`P3109`]), and golden-ratio
+//! static splits ([`GoldenFloat`]). New ones plug in by implementing the
+//! trait.
 //!
 //! # Examples
 //!
@@ -44,10 +47,14 @@ pub mod footprint;
 mod format;
 mod fp;
 mod fxp;
+mod gf;
 pub mod hash;
 mod int;
 pub mod lut;
 mod metadata;
+mod minifloat;
+mod mx;
+mod p3109;
 mod posit;
 pub mod ranges;
 mod spec;
@@ -58,7 +65,10 @@ pub use bitstring::Bitstring;
 pub use format::{flip_value_bit, DynamicRange, NumberFormat, Quantized};
 pub use fp::{f32_saturate, mul_pow2, FloatingPoint};
 pub use fxp::FixedPoint;
+pub use gf::GoldenFloat;
 pub use int::IntQuant;
 pub use metadata::Metadata;
+pub use mx::{MxElem, MxFloat};
+pub use p3109::P3109;
 pub use posit::Posit;
 pub use spec::{FormatSpec, ParseFormatError};

@@ -9,8 +9,10 @@
 //! load instead of a `Bitstring` field walk — for posits, this replaces a
 //! code-table search entirely.
 //!
-//! Tables are built once per format (keyed by [`NumberFormat::name`],
-//! which encodes every parameter) and shared process-wide. The
+//! Tables are built once per format (keyed by
+//! [`NumberFormat::canonical_spec`] — the same identity the artifact store
+//! uses, so aliased constructions such as `"fp8"` vs `"fp:e4m3"` or
+//! `"gf:16"` vs `"dlfloat16"` share one table) and shared process-wide. The
 //! conformance oracle validates every entry bitwise against the direct
 //! Method 4 decode (law `lut-agreement`), so the fast path cannot drift
 //! silently.
@@ -110,25 +112,30 @@ pub fn install_cached(format: &dyn NumberFormat, table: Vec<f32>) -> Option<Arc<
     }
     let mut map = cache().lock().unwrap_or_else(|p| p.into_inner());
     let entry = map
-        .entry(format.name())
+        .entry(format.canonical_spec())
         .or_insert_with(|| Some(Arc::new(DequantLut { width: width as usize, table })));
     entry.clone()
 }
 
 /// Returns the process-wide cached LUT for `format`, building it on first
 /// use; `None` when the format is ineligible (cached too, so the probe
-/// runs once per format name).
+/// runs once per canonical spec).
+///
+/// Keyed by [`NumberFormat::canonical_spec`], not `name()`: two
+/// constructions of the same format (shorthand vs explicit spec, builder
+/// vs parsed, `gf:16` vs `fp:e6m9`) must share one table instead of
+/// silently building duplicates.
 pub fn cached(format: &dyn NumberFormat) -> Option<Arc<DequantLut>> {
-    let name = format.name();
+    let key = format.canonical_spec();
     let mut map = cache().lock().unwrap_or_else(|p| p.into_inner());
-    if let Some(entry) = map.get(&name) {
+    if let Some(entry) = map.get(&key) {
         return entry.clone();
     }
     let built = DequantLut::build(format).map(Arc::new);
     if built.is_some() {
         trace::counter(trace::names::FORMATS_LUT_BUILDS).add(1);
     }
-    map.insert(name, built.clone());
+    map.insert(key, built.clone());
     built
 }
 
@@ -175,5 +182,34 @@ mod tests {
         let b = cached(&fp).expect("eligible");
         assert!(Arc::ptr_eq(&a, &b));
         assert!(cached(&IntQuant::new(16)).is_none());
+    }
+
+    #[test]
+    fn aliased_constructions_share_one_cached_table() {
+        // Regression for the cache being keyed by a plain name string:
+        // shorthand, explicit-grammar, and builder constructions of the
+        // same format must resolve to the *same* Arc, not duplicates.
+        use crate::FormatSpec;
+        let shorthand = "fp8".parse::<FormatSpec>().unwrap().build();
+        let explicit = "fp:e4m3".parse::<FormatSpec>().unwrap().build();
+        let builder = FloatingPoint::fp8_e4m3();
+        let a = cached(shorthand.as_ref()).expect("eligible");
+        let b = cached(explicit.as_ref()).expect("eligible");
+        let c = cached(&builder).expect("eligible");
+        assert!(Arc::ptr_eq(&a, &b), "shorthand vs explicit built duplicate LUTs");
+        assert!(Arc::ptr_eq(&a, &c), "parsed vs builder built duplicate LUTs");
+    }
+
+    #[test]
+    fn goldenfloat_shares_the_equivalent_fp_table() {
+        // gf:16 is arithmetically DLFloat16 (fp:e6m9); its name differs but
+        // its canonical spec — and therefore its cache slot — must not.
+        use crate::{FormatSpec, GoldenFloat, NumberFormat};
+        let gf = GoldenFloat::new(16);
+        let fp = "dlfloat16".parse::<FormatSpec>().unwrap().build();
+        assert_ne!(gf.name(), fp.name());
+        let a = cached(&gf).expect("eligible");
+        let b = cached(fp.as_ref()).expect("eligible");
+        assert!(Arc::ptr_eq(&a, &b), "gf:16 and dlfloat16 built duplicate LUTs");
     }
 }

@@ -6,7 +6,10 @@ use crate::bfp::BlockFloatingPoint;
 use crate::format::NumberFormat;
 use crate::fp::FloatingPoint;
 use crate::fxp::FixedPoint;
+use crate::gf::GoldenFloat;
 use crate::int::IntQuant;
+use crate::mx::{MxElem, MxFloat};
+use crate::p3109::P3109;
 use std::fmt;
 use std::str::FromStr;
 
@@ -37,8 +40,14 @@ impl std::error::Error for ParseFormatError {}
 ///   `bfp:eXmY:tensor` shares one exponent across the whole tensor
 /// - `afp:eXmY` — AdaptivFloat
 /// - `posit:N:ES` — posit⟨N, ES⟩
+/// - `mx:<elem>:bN` — OCP microscaling with an E8M0 block scale; `<elem>`
+///   is one of `fp4e2m1`, `fp6e2m3`, `fp6e3m2`, `fp8e4m3`, `fp8e5m2`
+/// - `p3109:eXmY` — saturating 8-bit P3109-style profile (`1+X+Y == 8`)
+/// - `gf:N` — GoldenFloat static golden-ratio split, N ∈ {8, 16, 32}
 /// - named shorthands: `fp32`, `fp16`, `bfloat16`, `tf32`, `dlfloat16`,
-///   `fp8` (= `fp:e4m3`), `int8`, `int16`, `posit8`, `posit16`
+///   `fp8` (= `fp:e4m3`), `int8`, `int16`, `posit8`, `posit16`,
+///   `mxfp4`/`mxfp6`/`mxfp8` (= `mx:fp4e2m1:b32` / `mx:fp6e2m3:b32` /
+///   `mx:fp8e4m3:b32`)
 ///
 /// # Examples
 ///
@@ -94,6 +103,25 @@ pub enum FormatSpec {
         /// Exponent-field bits.
         es: u32,
     },
+    /// `mx:<elem>:bN`
+    Mx {
+        /// Element format.
+        elem: MxElem,
+        /// Elements per shared E8M0 scale.
+        block: usize,
+    },
+    /// `p3109:eXmY` (`1 + exp + man == 8`)
+    P3109 {
+        /// Exponent bits.
+        exp: u32,
+        /// Mantissa bits.
+        man: u32,
+    },
+    /// `gf:N` (N ∈ {8, 16, 32})
+    Gf {
+        /// Total bits.
+        n: u32,
+    },
 }
 
 impl FormatSpec {
@@ -110,6 +138,9 @@ impl FormatSpec {
             }
             FormatSpec::Afp { exp, man } => Box::new(AdaptivFloat::new(exp, man)),
             FormatSpec::Posit { n, es } => Box::new(crate::posit::Posit::new(n, es)),
+            FormatSpec::Mx { elem, block } => Box::new(MxFloat::new(elem, block)),
+            FormatSpec::P3109 { exp, man } => Box::new(P3109::new(exp, man)),
+            FormatSpec::Gf { n } => Box::new(GoldenFloat::new(n)),
         }
     }
 }
@@ -143,6 +174,9 @@ impl FromStr for FormatSpec {
             "int16" => return Ok(FormatSpec::Int { bits: 16 }),
             "posit8" => return Ok(FormatSpec::Posit { n: 8, es: 0 }),
             "posit16" => return Ok(FormatSpec::Posit { n: 16, es: 1 }),
+            "mxfp4" => return Ok(FormatSpec::Mx { elem: MxElem::Fp4E2m1, block: 32 }),
+            "mxfp6" => return Ok(FormatSpec::Mx { elem: MxElem::Fp6E2m3, block: 32 }),
+            "mxfp8" => return Ok(FormatSpec::Mx { elem: MxElem::Fp8E4m3, block: 32 }),
             _ => {}
         }
         let parts: Vec<&str> = lower.split(':').collect();
@@ -184,6 +218,31 @@ impl FromStr for FormatSpec {
                 let es = es.parse().map_err(|_| err("bad posit es"))?;
                 Ok(FormatSpec::Posit { n, es })
             }
+            ["mx", elem, blk] => {
+                let elem = MxElem::parse(elem).ok_or_else(|| {
+                    err("unknown MX element (fp4e2m1/fp6e2m3/fp6e3m2/fp8e4m3/fp8e5m2)")
+                })?;
+                let block = blk
+                    .strip_prefix('b')
+                    .and_then(|x| x.parse().ok())
+                    .filter(|&b: &usize| b > 0 && b != usize::MAX)
+                    .ok_or_else(|| err("expected bN block size"))?;
+                Ok(FormatSpec::Mx { elem, block })
+            }
+            ["p3109", em] => {
+                let (exp, man) = parse_em(em).ok_or_else(|| err("expected eXmY"))?;
+                if 1 + exp + man != 8 || !(2..=6).contains(&exp) {
+                    return Err(err("P3109 profiles are 8-bit: 1+e+m == 8 with e in 2..=6"));
+                }
+                Ok(FormatSpec::P3109 { exp, man })
+            }
+            ["gf", n] => {
+                let n = n.parse().map_err(|_| err("bad GoldenFloat width"))?;
+                if !matches!(n, 8 | 16 | 32) {
+                    return Err(err("GoldenFloat widths are 8, 16, or 32"));
+                }
+                Ok(FormatSpec::Gf { n })
+            }
             _ => Err(err("unknown format family")),
         }
     }
@@ -200,6 +259,9 @@ impl fmt::Display for FormatSpec {
             FormatSpec::Bfp { exp, man, block } => write!(f, "bfp:e{exp}m{man}:b{block}"),
             FormatSpec::Afp { exp, man } => write!(f, "afp:e{exp}m{man}"),
             FormatSpec::Posit { n, es } => write!(f, "posit:{n}:{es}"),
+            FormatSpec::Mx { elem, block } => write!(f, "mx:{}:b{block}", elem.token()),
+            FormatSpec::P3109 { exp, man } => write!(f, "p3109:e{exp}m{man}"),
+            FormatSpec::Gf { n } => write!(f, "gf:{n}"),
         }
     }
 }
@@ -233,6 +295,19 @@ mod tests {
             "bfp:e5m5:tensor".parse::<FormatSpec>().unwrap(),
             FormatSpec::Bfp { exp: 5, man: 5, block: usize::MAX }
         );
+        assert_eq!(
+            "mx:fp4e2m1:b32".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Mx { elem: MxElem::Fp4E2m1, block: 32 }
+        );
+        assert_eq!(
+            "mx:fp8e5m2:b16".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Mx { elem: MxElem::Fp8E5m2, block: 16 }
+        );
+        assert_eq!(
+            "p3109:e4m3".parse::<FormatSpec>().unwrap(),
+            FormatSpec::P3109 { exp: 4, man: 3 }
+        );
+        assert_eq!("gf:16".parse::<FormatSpec>().unwrap(), FormatSpec::Gf { n: 16 });
     }
 
     #[test]
@@ -242,6 +317,18 @@ mod tests {
             FormatSpec::Fp { exp: 8, man: 7, denormals: true }
         );
         assert_eq!("int8".parse::<FormatSpec>().unwrap(), FormatSpec::Int { bits: 8 });
+        assert_eq!(
+            "mxfp4".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Mx { elem: MxElem::Fp4E2m1, block: 32 }
+        );
+        assert_eq!(
+            "mxfp6".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Mx { elem: MxElem::Fp6E2m3, block: 32 }
+        );
+        assert_eq!(
+            "mxfp8".parse::<FormatSpec>().unwrap(),
+            FormatSpec::Mx { elem: MxElem::Fp8E4m3, block: 32 }
+        );
     }
 
     #[test]
@@ -255,6 +342,10 @@ mod tests {
             "bfp:e5m5:tensor",
             "afp:e3m4",
             "posit:16:1",
+            "mx:fp4e2m1:b32",
+            "mx:fp8e5m2:b16",
+            "p3109:e5m2",
+            "gf:8",
         ] {
             let spec: FormatSpec = s.parse().unwrap();
             assert_eq!(spec.to_string(), s);
@@ -268,6 +359,12 @@ mod tests {
         assert_eq!(spec.build().name(), "bfp_e5m5_b16");
         let spec: FormatSpec = "fp32".parse().unwrap();
         assert_eq!(spec.build().name(), "fp_e8m23");
+        let spec: FormatSpec = "mx:fp8e4m3:b32".parse().unwrap();
+        assert_eq!(spec.build().name(), "mx_fp8e4m3_b32");
+        let spec: FormatSpec = "p3109:e4m3".parse().unwrap();
+        assert_eq!(spec.build().name(), "p3109_e4m3");
+        let spec: FormatSpec = "gf:8".parse().unwrap();
+        assert_eq!(spec.build().name(), "gf8_e3m4");
     }
 
     #[test]
@@ -289,6 +386,10 @@ mod tests {
             "afp:e3m4",
             "posit:16:1",
             "posit8",
+            "mx:fp4e2m1:b32",
+            "mx:fp8e5m2:b16",
+            "mxfp8",
+            "p3109:e4m3",
         ] {
             let spec: FormatSpec = s.parse().unwrap();
             let canon = spec.build().canonical_spec();
@@ -298,8 +399,36 @@ mod tests {
     }
 
     #[test]
+    fn goldenfloat_canonical_spec_aliases_to_fp() {
+        // `gf:N` deliberately does NOT canonicalise to itself: a GoldenFloat
+        // quantises identically to its φ-split FloatingPoint, so the store
+        // and LUT cache must treat them as one format.
+        for (gf, fp) in [("gf:8", "fp:e3m4"), ("gf:16", "fp:e6m9"), ("gf:32", "fp:e11m20")] {
+            let spec: FormatSpec = gf.parse().unwrap();
+            let canon = spec.build().canonical_spec();
+            assert_eq!(canon, fp, "{gf}");
+            assert_eq!(canon, fp.parse::<FormatSpec>().unwrap().build().canonical_spec());
+        }
+    }
+
+    #[test]
     fn bad_specs_error() {
-        for s in ["", "fp", "fp:em", "fxp:2:3:4", "bfp:e5m5", "wat:1", "int:x"] {
+        for s in [
+            "",
+            "fp",
+            "fp:em",
+            "fxp:2:3:4",
+            "bfp:e5m5",
+            "wat:1",
+            "int:x",
+            "mx:fp4e2m1",
+            "mx:fp5e2m2:b32",
+            "mx:fp4e2m1:b0",
+            "mx:fp4e2m1:tensor",
+            "p3109:e4m4",
+            "p3109:e7m0",
+            "gf:12",
+        ] {
             assert!(s.parse::<FormatSpec>().is_err(), "`{s}` should not parse");
         }
     }

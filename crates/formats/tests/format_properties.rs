@@ -3,11 +3,16 @@
 //! BFP block size, and posit size must uphold the API contract.
 
 use formats::{
-    AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, IntQuant, Metadata, NumberFormat,
-    Posit,
+    AdaptivFloat, BlockFloatingPoint, FixedPoint, FloatingPoint, GoldenFloat, IntQuant, Metadata,
+    MxElem, MxFloat, NumberFormat, Posit, P3109,
 };
 use proptest::prelude::*;
 use tensor::Tensor;
+
+/// Strategy over the five OCP MX element types.
+fn mx_elem() -> impl Strategy<Value = MxElem> {
+    proptest::sample::select(MxElem::ALL.to_vec())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -105,6 +110,93 @@ proptest! {
         prop_assert_eq!(p.quantize_scalar(1e30), maxpos);
     }
 
+    /// MX quantisation never escapes the block's scaled element range: for
+    /// every element type and block size, |q(x)| ≤ elem_max × 2^scale, and
+    /// requantising is the identity (idempotence under random geometry).
+    #[test]
+    fn mx_respects_block_bounds_and_projects(
+        elem in mx_elem(),
+        block in 1usize..=48,
+        values in prop::collection::vec(-1e6f32..1e6, 4..40),
+    ) {
+        let mx = MxFloat::new(elem, block);
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        let q = mx.real_to_format_tensor(&x);
+        for (chunk_in, chunk_out) in values.chunks(block).zip(q.values.as_slice().chunks(block)) {
+            let in_max = chunk_in.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let out_max = chunk_out.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            // The shared scale targets the block max; rounding within the
+            // element grid can overshoot by at most one element ulp.
+            prop_assert!(out_max <= in_max * 1.25 + 1e-6,
+                "{}: block max grew {in_max} -> {out_max}", mx.name());
+        }
+        let q2 = mx.real_to_format_tensor(&q.values);
+        prop_assert_eq!(q.meta.clone(), q2.meta, "{}: scale codes drift", mx.name());
+        for (a, b) in q.values.as_slice().iter().zip(q2.values.as_slice()) {
+            prop_assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                "{}: {a} requantises to {b}", mx.name());
+        }
+    }
+
+    /// P3109 saturates at its advertised max — never through ±Inf — and
+    /// every quantised value round-trips bitwise through its 8-bit code.
+    #[test]
+    fn p3109_saturates_and_roundtrips(e in 2u32..=6, v in -2e5f32..2e5) {
+        let p = P3109::new(e, 7 - e);
+        let max = p.dynamic_range().max_abs as f32;
+        prop_assert_eq!(p.quantize_value(f32::MAX), max);
+        prop_assert_eq!(p.quantize_value(f32::INFINITY), max);
+        prop_assert_eq!(p.quantize_value(f32::NEG_INFINITY), -max);
+        let q = p.quantize_value(v);
+        prop_assert!(q.is_finite() && q.abs() <= max);
+        let rt = p.format_to_real(&p.real_to_format(q, &Metadata::None, 0), &Metadata::None, 0);
+        prop_assert_eq!(rt.to_bits(), q.to_bits(), "{}: {q} re-decodes as {rt}", p.name());
+    }
+
+    /// Differential: the metadata-free narrow formats agree across all
+    /// three decode paths — direct quantise, encode→LUT decode, and the
+    /// chunk-parallel tensor path — for random tensors.
+    #[test]
+    fn narrow_formats_agree_quantise_vs_lut_vs_chunked(
+        values in prop::collection::vec(-500.0f32..500.0, 1..24),
+    ) {
+        let formats: Vec<Box<dyn NumberFormat>> = vec![
+            Box::new(P3109::new(4, 3)),
+            Box::new(P3109::new(5, 2)),
+            Box::new(GoldenFloat::new(8)),
+            Box::new(GoldenFloat::new(16)),
+        ];
+        let x = Tensor::from_vec(values.clone(), [values.len()]);
+        for f in formats {
+            let lut = formats::lut::cached(f.as_ref()).expect("narrow metadata-free");
+            let q = f.real_to_format_tensor(&x);
+            for (i, &v) in values.iter().enumerate() {
+                let direct = f.quantize_value(v);
+                let code = f.real_to_format(v, &Metadata::None, i).to_u64();
+                let fast = lut.decode(code);
+                let chunked = q.values.as_slice()[i];
+                prop_assert!(direct.to_bits() == fast.to_bits()
+                        || (direct.is_nan() && fast.is_nan()),
+                    "{}: {v}: direct {direct} vs LUT {fast}", f.name());
+                prop_assert!(direct.to_bits() == chunked.to_bits()
+                        || (direct.is_nan() && chunked.is_nan()),
+                    "{}: {v}: direct {direct} vs tensor {chunked}", f.name());
+            }
+        }
+    }
+
+    /// GoldenFloat is bitwise the φ-split FloatingPoint on every input.
+    #[test]
+    fn goldenfloat_matches_its_phi_split_fp(n in proptest::sample::select(vec![8u32, 16, 32]), v in -1e30f32..1e30) {
+        let gf = GoldenFloat::new(n);
+        let (e, m) = GoldenFloat::phi_split(n);
+        let fp = FloatingPoint::new(e, m);
+        let a = gf.quantize_value(v);
+        let b = fp.quantize_value(v);
+        prop_assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+            "gf{n}: {v}: {a} vs {b}");
+    }
+
     /// Bitstring width always matches `bit_width`, for every family and
     /// every value.
     #[test]
@@ -116,6 +208,9 @@ proptest! {
             Box::new(BlockFloatingPoint::new(4, 6, 3)),
             Box::new(AdaptivFloat::new(5, 4)),
             Box::new(Posit::new(9, 1)),
+            Box::new(MxFloat::new(MxElem::Fp6E3m2, 4)),
+            Box::new(P3109::new(4, 3)),
+            Box::new(GoldenFloat::new(8)),
         ];
         for f in formats {
             let x = Tensor::from_vec(vec![v, 1.0], [2]);
@@ -137,6 +232,9 @@ proptest! {
             Box::new(BlockFloatingPoint::new(5, 4, 4)),
             Box::new(AdaptivFloat::new(4, 4)),
             Box::new(Posit::new(10, 1)),
+            Box::new(MxFloat::new(MxElem::Fp8E5m2, 4)),
+            Box::new(P3109::new(3, 4)),
+            Box::new(GoldenFloat::new(16)),
         ];
         let x = Tensor::from_vec(values.clone(), [values.len()]);
         for f in formats {

@@ -16,8 +16,9 @@
 //!
 //! Supported surface: the [`proptest!`] macro (with an optional
 //! `#![proptest_config(…)]` header), numeric range strategies,
-//! [`collection::vec`], [`Strategy::prop_map`], [`prop_assert!`],
-//! [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`].
+//! [`collection::vec`], [`sample::select`], [`Strategy::prop_map`],
+//! [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//! [`prop_assume!`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +26,36 @@ use rand::SeedableRng;
 pub mod strategy;
 
 pub use strategy::{Just, Strategy};
+
+/// Uniform choice from a fixed list (mirror of `proptest::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding a uniformly chosen element of a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Mirrors `proptest::sample::select`: each case draws one of
+    /// `values` uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
 
 /// Per-suite configuration (mirror of `proptest::test_runner::Config`).
 #[derive(Debug, Clone)]
