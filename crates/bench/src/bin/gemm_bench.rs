@@ -1,14 +1,19 @@
-//! GEMM kernel benchmark: the packed register-tiled kernel
-//! ([`tensor::linalg::sgemm`]) against the legacy axpy kernel
-//! (`sgemm_axpy`), at 1 and N intra-op threads, in GFLOP/s.
+//! GEMM kernel benchmark: the explicit-SIMD micro-kernels (scalar /
+//! AVX2 / AVX-512, whichever the host supports) against the legacy axpy
+//! kernel, plus runtime dispatch at 1 and N intra-op threads and the
+//! fused quantise-into-pack path vs a separate quantise pass — all in
+//! GFLOP/s.
 //!
-//! Every (kernel, threads, size) cell is checked bit-identical to
-//! `matmul_naive` before it is timed, so the numbers always describe the
-//! *correct* kernel — never a fast-but-wrong variant.
+//! Every timed cell is checked bit-identical to `matmul_naive` (or, for
+//! the fused pair, to its unfused twin) before it is timed, so the
+//! numbers always describe the *correct* kernel — never a fast-but-wrong
+//! variant. Forced kernels are additionally checked byte-identical to the
+//! forced-scalar output, which is the divergence gate the CI bench-smoke
+//! job relies on.
 //!
 //! Writes `BENCH_gemm.json` (override with `--out`): the run manifest
-//! with one row per cell plus the two ISSUE-level summary ratios
-//! (single-thread packed/axpy at 512³, and packed N-thread/1-thread).
+//! with one row per cell, per-kernel single-thread GFLOP/s, the measured
+//! multicore scaling, and the fused-pack overhead ratio.
 //!
 //! Run with: `cargo run --release -p bench --bin gemm_bench
 //! [--quick] [--jobs N] [--out PATH]`
@@ -17,7 +22,8 @@ use bench::BenchArgs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
-use tensor::linalg::{matmul_naive, sgemm, sgemm_axpy};
+use tensor::linalg::kernels::{self, Kernel};
+use tensor::linalg::{matmul_naive, sgemm, sgemm_axpy, sgemm_fused};
 use tensor::Tensor;
 use trace::Json;
 
@@ -38,6 +44,12 @@ fn random_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
     (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
 }
 
+/// The toy quantiser for the fused-pack A/B: exact in f32 so fused and
+/// separate passes must agree bitwise.
+fn quant(x: f32) -> f32 {
+    (x * 8.0).round() * 0.125
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let quick = args.quick;
@@ -56,20 +68,37 @@ fn main() {
             4
         }
     };
+    let supported = kernels::supported_kernels();
+    // The thread budget the pool actually grants for the N-thread cells.
+    let threads_effective = {
+        let _g = tensor::parallel::with_threads(max_threads.max(2));
+        tensor::parallel::max_threads()
+    };
 
     let mut manifest = trace::RunManifest::new("bench gemm_bench")
         .with_config("quick", quick)
         .with_config("max_threads", max_threads)
-        .with_config("sizes", Json::Arr(sizes.iter().map(|&s| Json::from(s)).collect()));
+        .with_config("sizes", Json::Arr(sizes.iter().map(|&s| Json::from(s)).collect()))
+        .with_config(
+            "kernels_supported",
+            Json::Arr(supported.iter().map(|k| Json::from(k.name())).collect()),
+        );
     let t_all = Instant::now();
     let mut rows: Vec<Json> = Vec::new();
-    // (size -> GFLOP/s) cells feeding the two ISSUE-level summary ratios.
+    // (size -> GFLOP/s) cells feeding the summary ratios.
     let mut axpy1 = std::collections::BTreeMap::new();
-    let mut packed1 = std::collections::BTreeMap::new();
-    let mut packed_n = std::collections::BTreeMap::new();
+    let mut dispatch1 = std::collections::BTreeMap::new();
+    let mut dispatch_n = std::collections::BTreeMap::new();
+    let mut fused1 = std::collections::BTreeMap::new();
+    let mut separate1 = std::collections::BTreeMap::new();
+    let mut per_kernel1: std::collections::BTreeMap<(&'static str, usize), f64> =
+        std::collections::BTreeMap::new();
 
-    println!("GEMM kernels (square m=k=n, f32, GFLOP/s; best of reps)\n");
-    println!("{:<8} {:<14} {:>8} {:>10} {:>10}", "size", "kernel", "threads", "seconds", "GFLOP/s");
+    println!(
+        "GEMM kernels (square m=k=n, f32, GFLOP/s; best of reps; dispatch = {:?})\n",
+        kernels::active()
+    );
+    println!("{:<8} {:<18} {:>8} {:>10} {:>10}", "size", "kernel", "threads", "seconds", "GFLOP/s");
     let mut rng = StdRng::seed_from_u64(0x6E33);
     for &m in sizes {
         let (k, n) = (m, m);
@@ -81,56 +110,146 @@ fn main() {
             let bt = Tensor::from_vec(b.clone(), [k, n]);
             matmul_naive(&at, &bt)
         };
-        let cells: &[(&str, usize)] = &[("axpy", 1), ("packed", 1), ("packed", max_threads.max(2))];
-        for &(kernel, threads) in cells {
+        // Divergence gate baseline: the forced-scalar kernel's output.
+        let scalar_out = {
+            kernels::force(Some(Kernel::Scalar));
+            let _g = tensor::parallel::with_threads(1);
+            let mut out = vec![0.0f32; m * n];
+            sgemm(m, k, n, &a, &b, &mut out);
+            kernels::force(None);
+            out
+        };
+        assert!(
+            scalar_out.iter().zip(reference.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "scalar kernel diverged from matmul_naive at {m}³"
+        );
+
+        // (label, forced kernel, threads). `None` = runtime dispatch.
+        let mut cells: Vec<(String, Option<Kernel>, usize)> = vec![("axpy".into(), None, 1)];
+        for &kern in &supported {
+            cells.push((kern.name().into(), Some(kern), 1));
+        }
+        cells.push(("dispatch".into(), None, 1));
+        cells.push(("dispatch".into(), None, max_threads.max(2)));
+        for (label, forced, threads) in cells {
+            kernels::force(forced);
             let _guard = tensor::parallel::with_threads(threads);
             let mut out = vec![0.0f32; m * n];
-            // Correctness gate: the timed kernel must agree bit-for-bit
-            // with the naive reference at this thread count.
-            match kernel {
-                "axpy" => sgemm_axpy(m, k, n, &a, &b, &mut out),
-                _ => sgemm(m, k, n, &a, &b, &mut out),
+            let axpy = label == "axpy";
+            if axpy {
+                sgemm_axpy(m, k, n, &a, &b, &mut out);
+            } else {
+                sgemm(m, k, n, &a, &b, &mut out);
             }
-            let bits_equal =
-                out.iter().zip(reference.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
-            assert!(bits_equal, "{kernel} kernel diverged from matmul_naive at {m}³");
+            // Correctness gates: bit-identical to the naive reference, and
+            // (for the micro-kernels) byte-identical to forced scalar.
+            assert!(
+                out.iter().zip(reference.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{label} kernel diverged from matmul_naive at {m}³ ({threads} threads)"
+            );
+            if !axpy {
+                assert!(
+                    out.iter().zip(&scalar_out).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{label} kernel diverged from forced scalar at {m}³ ({threads} threads)"
+                );
+            }
             let secs = best_secs(reps(m), || {
                 out.fill(0.0);
-                match kernel {
-                    "axpy" => sgemm_axpy(m, k, n, &a, &b, &mut out),
-                    _ => sgemm(m, k, n, &a, &b, &mut out),
+                if axpy {
+                    sgemm_axpy(m, k, n, &a, &b, &mut out);
+                } else {
+                    sgemm(m, k, n, &a, &b, &mut out);
                 }
             });
+            kernels::force(None);
             let gflops = flops / secs / 1e9;
-            println!("{m:<8} {kernel:<14} {threads:>8} {secs:>10.4} {gflops:>10.2}");
+            println!("{m:<8} {label:<18} {threads:>8} {secs:>10.4} {gflops:>10.2}");
             rows.push(Json::obj([
                 ("size", Json::from(m)),
-                ("kernel", Json::from(kernel)),
+                ("kernel", Json::from(label.as_str())),
                 ("threads", Json::from(threads)),
                 ("seconds", Json::Num(secs)),
                 ("gflops", Json::Num(gflops)),
             ]));
-            match (kernel, threads) {
+            match (label.as_str(), threads) {
                 ("axpy", 1) => drop(axpy1.insert(m, gflops)),
-                ("packed", 1) => drop(packed1.insert(m, gflops)),
-                _ => drop(packed_n.insert(m, gflops)),
+                ("dispatch", 1) => drop(dispatch1.insert(m, gflops)),
+                ("dispatch", _) => drop(dispatch_n.insert(m, gflops)),
+                _ => {
+                    if let Some(kern) = forced {
+                        per_kernel1.insert((kern.name(), m), gflops);
+                    }
+                }
             }
+        }
+
+        // Fused quantise-into-pack vs a separate full-tensor quantise pass
+        // feeding the same GEMM (both on runtime dispatch, 1 thread; both
+        // timings include the quantisation work).
+        {
+            let _g = tensor::parallel::with_threads(1);
+            let mut fused_out = vec![0.0f32; m * n];
+            sgemm_fused(m, k, n, &a, &b, &mut fused_out, Some(&quant), Some(&quant));
+            let mut sep_out = vec![0.0f32; m * n];
+            let aq: Vec<f32> = a.iter().map(|&x| quant(x)).collect();
+            let bq: Vec<f32> = b.iter().map(|&x| quant(x)).collect();
+            sgemm(m, k, n, &aq, &bq, &mut sep_out);
+            assert!(
+                fused_out.iter().zip(&sep_out).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "fused pack diverged from separate quantise at {m}³"
+            );
+            let fused_secs = best_secs(reps(m), || {
+                fused_out.fill(0.0);
+                sgemm_fused(m, k, n, &a, &b, &mut fused_out, Some(&quant), Some(&quant));
+            });
+            let sep_secs = best_secs(reps(m), || {
+                sep_out.fill(0.0);
+                let aq: Vec<f32> = a.iter().map(|&x| quant(x)).collect();
+                let bq: Vec<f32> = b.iter().map(|&x| quant(x)).collect();
+                sgemm(m, k, n, &aq, &bq, &mut sep_out);
+            });
+            for (label, secs) in [("fused_pack", fused_secs), ("separate_quantise", sep_secs)] {
+                let gflops = flops / secs / 1e9;
+                println!("{m:<8} {label:<18} {:>8} {secs:>10.4} {gflops:>10.2}", 1);
+                rows.push(Json::obj([
+                    ("size", Json::from(m)),
+                    ("kernel", Json::from(label)),
+                    ("threads", Json::from(1usize)),
+                    ("seconds", Json::Num(secs)),
+                    ("gflops", Json::Num(gflops)),
+                ]));
+            }
+            fused1.insert(m, fused_secs);
+            separate1.insert(m, sep_secs);
         }
     }
     println!();
 
-    // ISSUE acceptance ratios, reported at the largest size that ran both
-    // cells (512 in full mode, 256 in --quick).
-    let &pivot = packed1.keys().max().expect("no sizes ran");
-    let pivot = if packed1.contains_key(&512) { 512 } else { pivot };
-    let st_speedup = packed1[&pivot] / axpy1[&pivot];
-    let thread_scaling = packed_n[&pivot] / packed1[&pivot];
+    // Summary ratios, reported at the largest size that ran every cell
+    // (512 in full mode, 256 in --quick).
+    let &pivot = dispatch1.keys().max().expect("no sizes ran");
+    let pivot = if dispatch1.contains_key(&512) { 512 } else { pivot };
+    let st_speedup = dispatch1[&pivot] / axpy1[&pivot];
+    // Thread scaling is reported at the largest size that ran: the
+    // scoped-worker pool spawns per dispatch, so small GEMMs are overhead
+    // dominated and the multicore claim is about large ones.
+    let &scaling_size = dispatch_n.keys().max().expect("no sizes ran");
+    let thread_scaling = dispatch_n[&scaling_size] / dispatch1[&scaling_size];
+    let fused_speedup = separate1[&pivot] / fused1[&pivot];
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!(
-        "packed vs axpy, 1 thread, {pivot}³: {st_speedup:.2}x   \
-         packed {mt} vs 1 thread: {thread_scaling:.2}x ({cores} core(s) available)",
-        mt = max_threads.max(2)
+        "dispatch vs axpy, 1 thread, {pivot}³: {st_speedup:.2}x   dispatch {threads_effective} \
+         vs 1 thread, {scaling_size}³: {thread_scaling:.2}x ({cores} core(s) available)   fused \
+         pack vs separate quantise: {fused_speedup:.2}x"
     );
+    let per_kernel_pivot: Vec<(&'static str, f64)> = per_kernel1
+        .iter()
+        .filter(|((_, size), _)| *size == pivot)
+        .map(|((name, _), g)| (*name, *g))
+        .collect();
+    for (name, g) in &per_kernel_pivot {
+        println!("  {name:<12} {g:>8.2} GFLOP/s (1 thread, {pivot}³)");
+    }
 
     manifest.wall_time_s = t_all.elapsed().as_secs_f64();
     manifest = manifest
@@ -138,12 +257,25 @@ fn main() {
         .with_extra("pivot_size", Json::from(pivot))
         .with_extra("single_thread_speedup_vs_axpy", Json::Num(st_speedup))
         .with_extra("thread_scaling", Json::Num(thread_scaling))
+        .with_extra("thread_scaling_size", Json::from(scaling_size))
+        .with_extra("threads_effective", Json::from(threads_effective))
+        .with_extra("fused_pack_speedup", Json::Num(fused_speedup))
+        .with_extra(
+            "per_kernel_gflops",
+            Json::Arr(
+                per_kernel_pivot
+                    .iter()
+                    .map(|(name, g)| {
+                        Json::obj([("kernel", Json::from(*name)), ("gflops", Json::Num(*g))])
+                    })
+                    .collect(),
+            ),
+        )
         .with_extra("cores_available", Json::from(cores))
-        // Structural scaling headroom: the row-panel decomposition yields
-        // ⌈m/MR⌉ independent tasks, so an N-core host has N-way parallel
-        // work whenever ⌈m/4⌉ ≥ N (128 tasks at 512³). On a single-core
-        // container `thread_scaling` is honestly ~1.0 — the bit-identity
-        // tests (not this number) pin the thread-count contract.
+        // The row-panel decomposition yields ⌈m/MR⌉ independent tasks, so
+        // an N-core host has N-way parallel work whenever ⌈m/4⌉ ≥ N;
+        // `thread_scaling` above is the scaling *measured* on this host
+        // with `threads_effective` workers, not a structural claim.
         .with_extra("row_panel_tasks_at_pivot", Json::from(pivot.div_ceil(4)));
     args.finish_run(manifest, Some("BENCH_gemm.json"));
 }

@@ -41,6 +41,39 @@ fn hook_metrics() -> &'static HookMetrics {
     })
 }
 
+/// Fused-quantise toggle: 0 = unset (consult `GOLDENEYE_FUSED` once),
+/// 1 = on, 2 = off.
+static FUSED_QUANTIZE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Enables or disables the fused single-pass quantise→dequantise hook
+/// path (overrides the `GOLDENEYE_FUSED` environment variable).
+///
+/// Fused and two-pass are bit-identical by the
+/// [`formats::NumberFormat::elementwise_quantizer`] contract; the toggle
+/// exists so benchmarks can A/B the two routes and so a suspect run can
+/// be re-executed on the legacy path (`GOLDENEYE_FUSED=0`).
+pub fn set_fused_quantize(on: bool) {
+    FUSED_QUANTIZE.store(if on { 1 } else { 2 }, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether hooks may take the fused round-trip fast path. Defaults to on;
+/// `GOLDENEYE_FUSED=0` / `off` / `false` disables it at startup.
+fn fused_quantize_enabled() -> bool {
+    match FUSED_QUANTIZE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                !matches!(
+                    std::env::var("GOLDENEYE_FUSED").as_deref(),
+                    Ok("0") | Ok("off") | Ok("false")
+                )
+            })
+        }
+    }
+}
+
 /// Locks a mutex, ignoring poisoning: hook state is only ever replaced
 /// wholesale, so a panicked trial cannot leave it torn.
 ///
@@ -139,6 +172,22 @@ enum RangeMode {
     Detect,
 }
 
+impl RangeMode {
+    /// Applies this mode's range handling to a hooked layer output.
+    /// Element-wise per layer, so it commutes with replica slicing —
+    /// clamping a packed batch tensor equals clamping each replica slice.
+    fn apply(self, range: &RangeProfile, layer: usize, values: Tensor) -> Tensor {
+        match self {
+            RangeMode::Off => values,
+            RangeMode::Profile => {
+                range.observe(layer, &values);
+                values
+            }
+            RangeMode::Detect => range.clamp(layer, &values),
+        }
+    }
+}
+
 /// The number-format emulation hook (with optional injection), installed
 /// on every instrumented layer.
 struct EmulationHook {
@@ -167,6 +216,21 @@ impl FormatTable {
 impl ForwardHook for EmulationHook {
     fn on_output(&self, layer: &LayerInfo, output: &Tensor) -> Option<Tensor> {
         let format = self.formats.resolve(layer.index);
+        let fault_here = self.plan.as_ref().is_some_and(|p| p.layer == layer.index);
+        // Fused fast path: no fault lands in this layer, so the quantised
+        // intermediate is never inspected and the round-trip collapses to
+        // one elementwise pass (bit-identical by the quantizer contract).
+        if !fault_here && fused_quantize_enabled() {
+            let timing = trace::recording().then(Instant::now);
+            if let Some(values) = formats::fused_roundtrip(format, output) {
+                if let Some(t0) = timing {
+                    let m = hook_metrics();
+                    m.quantize_ns.record(t0.elapsed().as_nanos() as u64);
+                    m.convert_elems.add(output.numel() as u64);
+                }
+                return Some(self.range_mode.apply(&self.range, layer.index, values));
+            }
+        }
         let timing = trace::recording().then(Instant::now);
         let mut q = format.real_to_format_tensor(output);
         if let Some(t0) = timing {
@@ -186,15 +250,7 @@ impl ForwardHook for EmulationHook {
         if let Some(t0) = timing {
             hook_metrics().dequantize_ns.record(t0.elapsed().as_nanos() as u64);
         }
-        let values = match self.range_mode {
-            RangeMode::Off => values,
-            RangeMode::Profile => {
-                self.range.observe(layer.index, &values);
-                values
-            }
-            RangeMode::Detect => self.range.clamp(layer.index, &values),
-        };
-        Some(values)
+        Some(self.range_mode.apply(&self.range, layer.index, values))
     }
 
     fn applies_to(&self, kind: LayerKind) -> bool {
@@ -277,6 +333,21 @@ impl ForwardHook for BatchEmulationHook {
         assert_eq!(rows % replicas, 0, "{rows} rows do not split into {replicas} replicas");
         let per = rows / replicas;
         let inject_here = self.plan.layer == layer.index;
+        // Fused fast path: away from the fault layer every replica gets the
+        // same pure elementwise round-trip, which commutes with replica
+        // slicing — one whole-tensor pass replaces narrow → quantise →
+        // dequantise → concat, bit-identically.
+        if !inject_here && fused_quantize_enabled() {
+            let timing = trace::recording().then(Instant::now);
+            if let Some(values) = formats::fused_roundtrip(format, output) {
+                if let Some(t0) = timing {
+                    let m = hook_metrics();
+                    m.quantize_ns.record(t0.elapsed().as_nanos() as u64);
+                    m.convert_elems.add(output.numel() as u64);
+                }
+                return Some(self.range_mode.apply(&self.range, layer.index, values));
+            }
+        }
         let timing = trace::recording().then(Instant::now);
         let mut slices = Vec::with_capacity(replicas);
         {
@@ -309,17 +380,7 @@ impl ForwardHook for BatchEmulationHook {
             let refs: Vec<&Tensor> = slices.iter().collect();
             tensor::ops::concat(&refs, 0)
         };
-        // Range handling is element-wise per layer, so clamping the packed
-        // tensor equals clamping each replica slice.
-        let values = match self.range_mode {
-            RangeMode::Off => values,
-            RangeMode::Profile => {
-                self.range.observe(layer.index, &values);
-                values
-            }
-            RangeMode::Detect => self.range.clamp(layer.index, &values),
-        };
-        Some(values)
+        Some(self.range_mode.apply(&self.range, layer.index, values))
     }
 
     fn applies_to(&self, kind: LayerKind) -> bool {
@@ -962,6 +1023,29 @@ mod tests {
         let emulated = ge.run(&model, x);
         assert!(!native.allclose(&emulated, 1e-6), "e2m2 should perturb logits");
         assert!(emulated.all_finite());
+    }
+
+    #[test]
+    fn fused_hook_path_is_bit_identical_to_two_pass() {
+        let model = tiny_model(1);
+        let x = sample(2);
+        // fp:e4m3 has an elementwise quantizer (fused path taken); bfp does
+        // not (both runs take the two-pass route — the toggle is inert).
+        for spec in ["fp:e4m3", "bfp:e5m5:b16"] {
+            let ge = GoldenEye::parse(spec).unwrap();
+            set_fused_quantize(true);
+            let fused = ge.run(&model, x.clone());
+            set_fused_quantize(false);
+            let two_pass = ge.run(&model, x.clone());
+            set_fused_quantize(true);
+            assert_eq!(fused.as_slice().len(), two_pass.as_slice().len(), "{spec}: shape mismatch");
+            for (i, (a, b)) in fused.as_slice().iter().zip(two_pass.as_slice()).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "{spec} logit {i}: fused {a} vs two-pass {b}"
+                );
+            }
+        }
     }
 
     #[test]

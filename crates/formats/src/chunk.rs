@@ -21,6 +21,13 @@ use tensor::{parallel, Tensor};
 /// count — which is what makes chunked output thread-count invariant.
 pub(crate) const QUANT_CHUNK: usize = 4096;
 
+/// Below this many elements the chunk loop stays on the calling thread:
+/// `tensor::parallel` spawns scoped OS threads per dispatch (~1 ms on
+/// containerised hosts), which swamps the quantise work for the layer
+/// outputs of the evaluation models. The guard only affects latency —
+/// chunk boundaries, and therefore results, are identical either way.
+pub(crate) const PAR_MIN_ELEMS: usize = 1 << 20;
+
 struct QuantMetrics {
     ns: &'static trace::Metric,
     elems: &'static trace::Metric,
@@ -42,6 +49,7 @@ pub(crate) fn map_chunked(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let t0 = timing.then(Instant::now);
     let src = t.as_slice();
     let mut out = vec![0.0f32; src.len()];
+    let _serial = (src.len() < PAR_MIN_ELEMS).then(|| parallel::with_threads(1));
     parallel::par_chunks_mut(&mut out, QUANT_CHUNK, |i, chunk| {
         let base = i * QUANT_CHUNK;
         for (j, v) in chunk.iter_mut().enumerate() {
@@ -65,6 +73,7 @@ pub(crate) fn max_abs_chunked(t: &Tensor) -> f32 {
     let src = t.as_slice();
     let tasks = src.len().div_ceil(QUANT_CHUNK).max(1);
     let mut partials = vec![0.0f32; tasks];
+    let _serial = (src.len() < PAR_MIN_ELEMS).then(|| parallel::with_threads(1));
     parallel::par_chunks_mut(&mut partials, 1, |i, slot| {
         let start = i * QUANT_CHUNK;
         let end = (start + QUANT_CHUNK).min(src.len());
@@ -84,7 +93,8 @@ mod tests {
 
     #[test]
     fn map_chunked_matches_map_across_thread_counts() {
-        let t = ramp(10_001);
+        // Above PAR_MIN_ELEMS so the parallel dispatch path really runs.
+        let t = ramp(PAR_MIN_ELEMS + 4097);
         let f = |x: f32| (x * 0.5).floor();
         let serial = t.map(f);
         for threads in [1, 2, 8] {

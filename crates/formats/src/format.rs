@@ -130,6 +130,21 @@ pub trait NumberFormat: std::fmt::Debug + Send + Sync {
         q.values.as_slice()[0]
     }
 
+    /// The format's quantise→dequantise round-trip as a pure elementwise
+    /// function, when one exists — the hook for **fused quantize-into-pack**
+    /// ([`crate::fused_roundtrip`] and `tensor::linalg::sgemm_fused`).
+    ///
+    /// The contract: for every input tensor `t`,
+    /// `t.map(f)` must be bit-identical to
+    /// `format_to_real_tensor(&real_to_format_tensor(t))`. That holds
+    /// exactly when quantisation needs no tensor-level metadata (FP, FxP,
+    /// posit, P3109, GoldenFloat); metadata-bearing formats (INT, BFP,
+    /// AFP, MX) derive a scale from the whole tensor and must return
+    /// `None` (the default) so callers fall back to the two-pass path.
+    fn elementwise_quantizer(&self) -> Option<Box<dyn Fn(f32) -> f32 + Send + Sync + '_>> {
+        None
+    }
+
     /// Whether this format carries injectable hardware metadata.
     fn supports_metadata_injection(&self) -> bool {
         false

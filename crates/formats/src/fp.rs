@@ -385,6 +385,12 @@ impl NumberFormat for FloatingPoint {
         Quantized { values, meta: Metadata::None }
     }
 
+    fn elementwise_quantizer(&self) -> Option<Box<dyn Fn(f32) -> f32 + Send + Sync + '_>> {
+        // Same closure as `real_to_format_tensor`; dequantise is the
+        // identity cast, so the round-trip is this single map.
+        Some(Box::new(|x| self.params.quantize_f32(x)))
+    }
+
     fn real_to_format(&self, value: f32, _meta: &Metadata, _index: usize) -> Bitstring {
         self.params.encode(value as f64)
     }

@@ -46,6 +46,7 @@ mod chunk;
 pub mod footprint;
 mod format;
 mod fp;
+mod fused;
 mod fxp;
 mod gf;
 pub mod hash;
@@ -64,6 +65,7 @@ pub use bfp::BlockFloatingPoint;
 pub use bitstring::Bitstring;
 pub use format::{flip_value_bit, DynamicRange, NumberFormat, Quantized};
 pub use fp::{f32_saturate, mul_pow2, FloatingPoint};
+pub use fused::fused_roundtrip;
 pub use fxp::FixedPoint;
 pub use gf::GoldenFloat;
 pub use int::IntQuant;

@@ -77,6 +77,10 @@ impl NumberFormat for P3109 {
         Quantized { values, meta: Metadata::None }
     }
 
+    fn elementwise_quantizer(&self) -> Option<Box<dyn Fn(f32) -> f32 + Send + Sync + '_>> {
+        Some(Box::new(|x| self.mini.quantize(x as f64) as f32))
+    }
+
     fn real_to_format(&self, value: f32, _meta: &Metadata, _index: usize) -> Bitstring {
         Bitstring::from_u64(self.mini.encode(value as f64), 8)
     }

@@ -69,13 +69,41 @@ impl RangeProfile {
     /// Clamps `t` into `layer`'s profiled range (identity if unprofiled).
     /// Non-finite values are pulled to the nearest bound, so a NaN/Inf
     /// produced by an exponent flip is suppressed — the detector's purpose.
+    ///
+    /// Elementwise over fixed [`CLAMP_CHUNK`]-sized chunks on the worker
+    /// pool, so detect-mode hooks scale like the quantise pass and the
+    /// output is byte-identical for every thread budget.
     pub fn clamp(&self, layer: usize, t: &Tensor) -> Tensor {
         match self.range(layer) {
             None => t.clone(),
-            Some((lo, hi)) => t.map(|x| if x.is_nan() { hi } else { x.clamp(lo, hi) }),
+            Some((lo, hi)) => {
+                let src = t.as_slice();
+                let mut out = vec![0.0f32; src.len()];
+                let _serial =
+                    (src.len() < CLAMP_PAR_MIN_ELEMS).then(|| tensor::parallel::with_threads(1));
+                tensor::parallel::par_chunks_mut(&mut out, CLAMP_CHUNK, |i, chunk| {
+                    let base = i * CLAMP_CHUNK;
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        let x = src[base + j];
+                        *v = if x.is_nan() { hi } else { x.clamp(lo, hi) };
+                    }
+                });
+                Tensor::from_vec(out, t.shape().clone())
+            }
         }
     }
 }
+
+/// Elements per parallel clamp work unit. Fixed — never derived from the
+/// thread count — which keeps clamped outputs thread-count invariant.
+const CLAMP_CHUNK: usize = 4096;
+
+/// Below this many elements the clamp stays on the calling thread —
+/// per-dispatch thread spawn costs more than the clamp itself for the
+/// evaluation models' layer outputs (same rationale and value as the
+/// quantise chunking's threshold in `formats`). Latency-only: chunk
+/// boundaries, and therefore results, are identical either way.
+const CLAMP_PAR_MIN_ELEMS: usize = 1 << 20;
 
 #[cfg(test)]
 mod tests {
@@ -112,6 +140,33 @@ mod tests {
         let p = RangeProfile::new();
         let x = Tensor::from_vec(vec![1e30, -1e30], [2]);
         assert_eq!(p.clamp(7, &x), x);
+    }
+
+    #[test]
+    fn clamp_is_thread_count_invariant() {
+        let p = RangeProfile::new();
+        p.observe(0, &Tensor::from_vec(vec![-2.0, 2.0], [2]));
+        // Above the serial guard so the parallel dispatch path really
+        // runs, ragged so the partial tail chunk is exercised.
+        let n = CLAMP_PAR_MIN_ELEMS + 3 * CLAMP_CHUNK + 17;
+        let v: Vec<f32> = (0..n)
+            .map(|i| match i % 5 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => -1e30,
+                _ => (i as f32) * 1e-3 - 6.0,
+            })
+            .collect();
+        let t = Tensor::from_vec(v, [n]);
+        let reference = {
+            let _g = tensor::parallel::with_threads(1);
+            p.clamp(0, &t)
+        };
+        for threads in [2usize, 8] {
+            let _g = tensor::parallel::with_threads(threads);
+            let got = p.clamp(0, &t);
+            assert_eq!(got.as_slice(), reference.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -347,21 +347,32 @@ impl Ctx {
             return out;
         }
         let replicas = self.replicas;
-        out.apply_ste(move |t| {
-            let mut cur: Option<Tensor> = None;
-            for h in &applicable {
-                let view = cur.as_ref().unwrap_or(t);
-                let replaced = if replicas > 1 {
-                    h.on_output_batched(&info, view, replicas)
-                } else {
-                    h.on_output(&info, view)
-                };
-                if let Some(replaced) = replaced {
-                    cur = Some(replaced);
-                }
+        // Hooks run once, eagerly: they are stateful (injector draws,
+        // discovery records), and observing-only hooks must not cost a
+        // tape node or a tensor clone.
+        let x = out.value();
+        let mut cur: Option<Tensor> = None;
+        for h in &applicable {
+            let view = cur.as_ref().unwrap_or(&x);
+            let replaced = if replicas > 1 {
+                h.on_output_batched(&info, view, replicas)
+            } else {
+                h.on_output(&info, view)
+            };
+            if let Some(replaced) = replaced {
+                cur = Some(replaced);
             }
-            cur.unwrap_or_else(|| t.clone())
-        })
+        }
+        match cur {
+            // Lift the replacement onto the tape under a straight-through
+            // estimator. The Cell moves it into the node without a clone;
+            // `apply_ste` invokes its closure exactly once.
+            Some(replaced) => {
+                let replaced = std::cell::Cell::new(Some(replaced));
+                out.apply_ste(move |_| replaced.take().expect("apply_ste closure runs once"))
+            }
+            None => out,
+        }
     }
 }
 

@@ -1,7 +1,9 @@
 //! Convolution and pooling kernels (NCHW layout) with explicit backward
 //! passes, built on im2col + GEMM.
 
-use crate::linalg::sgemm;
+use crate::linalg::kernels::{self, MR, NR};
+use crate::linalg::{self, sgemm};
+use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
 use crate::workspace;
 
@@ -90,8 +92,20 @@ fn col2im(cols: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec, x_grad: 
     fn row_skip() {}
 }
 
+/// Pooled-transient budget for the batched conv pack buffer (f32 elems,
+/// 64 MiB): the batch is blocked so `block · panel_elems` stays under it.
+const CONV_PACK_BUDGET: usize = 16 << 20;
+
 /// 2-D convolution forward: `x: [N,C,H,W]`, `w: [O,C,K,K]`, optional
 /// `bias: [O]` → `[N,O,OH,OW]`.
+///
+/// Batch-parallel: the weight matrix is packed into `MR`-row panels once,
+/// each image's im2col matrix is packed in parallel, and every
+/// `(image, weight-panel)` pair becomes one row-panel task on the shared
+/// worker pool — the same tasks the SGEMM path uses, so a batch of images
+/// scales like one large GEMM. Per-element accumulation order is
+/// identical to per-image [`sgemm`] calls, so results are bit-exact for
+/// every thread count and dispatched micro-kernel.
 ///
 /// # Panics
 ///
@@ -108,26 +122,114 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -
         assert_eq!(b.dims(), &[o], "conv2d bias must be [{o}]");
     }
     let (oh, ow) = (spec.out_dim(h), spec.out_dim(wd));
-    let ckk = c * k * k;
-    // The im2col matrix is the dominant transient; borrow it from the
-    // thread-local pool so back-to-back forwards (the campaign hot loop)
-    // stop hitting the allocator.
-    let mut cols = workspace::take(ckk * oh * ow);
-    let mut out = vec![0.0f32; n * o * oh * ow];
-    for ni in 0..n {
-        im2col(&x.as_slice()[ni * c * h * wd..(ni + 1) * c * h * wd], c, h, wd, spec, &mut cols);
-        let out_n = &mut out[ni * o * oh * ow..(ni + 1) * o * oh * ow];
-        sgemm(o, ckk, oh * ow, w.as_slice(), &cols, out_n);
-        if let Some(b) = bias {
-            for oi in 0..o {
-                let bv = b.as_slice()[oi];
-                for v in &mut out_n[oi * oh * ow..(oi + 1) * oh * ow] {
-                    *v += bv;
-                }
+    let (ohow, ckk, chw) = (oh * ow, c * k * k, c * h * wd);
+    let mut out = vec![0.0f32; n * o * ohow];
+    if n == 0 || o == 0 || ohow == 0 || ckk == 0 {
+        return Tensor::from_vec(out, [n, o, oh, ow]);
+    }
+
+    if linalg::legacy_kernel_enabled() {
+        // Historical serial path, kept so `campaign_scaling`'s legacy A/B
+        // toggle still measures the whole pre-rewrite pipeline.
+        let mut cols = workspace::take(ckk * ohow);
+        for ni in 0..n {
+            im2col(&x.as_slice()[ni * chw..(ni + 1) * chw], c, h, wd, spec, &mut cols);
+            let out_n = &mut out[ni * o * ohow..(ni + 1) * o * ohow];
+            sgemm(o, ckk, ohow, w.as_slice(), &cols, out_n);
+            add_bias(out_n, bias, 0, o, ohow);
+        }
+        return Tensor::from_vec(out, [n, o, oh, ow]);
+    }
+
+    let kern = kernels::active();
+    let npanels = ohow.div_ceil(NR);
+    let mpanels = o.div_ceil(MR);
+    let panel_elems = npanels * ckk * NR;
+    let block = n.min((CONV_PACK_BUDGET / panel_elems).max(1));
+
+    // Pack the weight matrix's row panels once — shared by every image.
+    let mut wpack = workspace::take(mpanels * ckk * MR);
+    for pi in 0..mpanels {
+        let i0 = pi * MR;
+        pack_w_panel(ckk, w.as_slice(), i0, MR.min(o - i0), &mut wpack[pi * ckk * MR..]);
+    }
+
+    let mut bpack = workspace::take(block * panel_elems);
+    for n0 in (0..n).step_by(block) {
+        let bn = block.min(n - n0);
+        let flops = 2usize.saturating_mul(bn * o).saturating_mul(ckk * ohow);
+        let _serial = (flops < linalg::PAR_FLOP_THRESHOLD).then(|| parallel::with_threads(1));
+        {
+            // Parallel im2col + pack per image: each task owns one
+            // image's disjoint `panel_elems` region of the pack buffer.
+            let bp = SendPtr(bpack.as_mut_ptr());
+            let x_all = x.as_slice();
+            parallel::parallel_for(bn, |bi| {
+                let ni = n0 + bi;
+                let mut cols = workspace::take(ckk * ohow);
+                im2col(&x_all[ni * chw..(ni + 1) * chw], c, h, wd, spec, &mut cols);
+                // SAFETY: region `bi*panel_elems..(bi+1)*panel_elems` is
+                // owned by task bi alone, and `bpack` outlives the scope.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(bp.get().add(bi * panel_elems), panel_elems)
+                };
+                pack_image(ckk, ohow, &cols, dst);
+            });
+        }
+        let ob = SendPtr(out.as_mut_ptr());
+        let (bpack_ref, wpack_ref, bias_ref) = (&bpack[..], &wpack[..], bias);
+        parallel::parallel_for(bn * mpanels, |t| {
+            let (bi, pi) = (t / mpanels, t % mpanels);
+            let ni = n0 + bi;
+            let i0 = pi * MR;
+            let rows = MR.min(o - i0);
+            // SAFETY: task t owns exactly output-channel rows
+            // `i0..i0+rows` of image `ni`; the (bi, pi) → task mapping is
+            // a bijection, so regions are disjoint, and `out` outlives
+            // the thread scope.
+            let orow = unsafe {
+                std::slice::from_raw_parts_mut(ob.get().add(ni * o * ohow + i0 * ohow), rows * ohow)
+            };
+            linalg::row_panel(
+                kern,
+                ckk,
+                ohow,
+                rows,
+                &wpack_ref[pi * ckk * MR..(pi + 1) * ckk * MR],
+                &bpack_ref[bi * panel_elems..(bi + 1) * panel_elems],
+                orow,
+            );
+            add_bias(orow, bias_ref, i0, rows, ohow);
+        });
+    }
+    Tensor::from_vec(out, [n, o, oh, ow])
+}
+
+/// Adds `bias[o0 + r]` to each of `rows` output rows of length `ohow`
+/// (no-op without a bias), after the GEMM accumulation — the same order
+/// as the historical serial path, so results stay bit-identical.
+fn add_bias(orow: &mut [f32], bias: Option<&Tensor>, o0: usize, rows: usize, ohow: usize) {
+    if let Some(b) = bias {
+        for r in 0..rows {
+            let bv = b.as_slice()[o0 + r];
+            for v in &mut orow[r * ohow..(r + 1) * ohow] {
+                *v += bv;
             }
         }
     }
-    Tensor::from_vec(out, [n, o, oh, ow])
+}
+
+/// Packs weight rows `i0..i0+rows` (each of length `ckk`) into one
+/// k-major `MR`-row panel (delegates to the SGEMM packer).
+fn pack_w_panel(ckk: usize, w: &[f32], i0: usize, rows: usize, dst: &mut [f32]) {
+    linalg::pack_a(ckk, w, i0, rows, dst, None);
+}
+
+/// Packs one image's `[ckk, ohow]` im2col matrix into `NR`-column panels
+/// (delegates to the SGEMM packer; `dst` must be zeroed for the ragged
+/// last panel's padding lanes).
+fn pack_image(ckk: usize, ohow: usize, cols: &[f32], dst: &mut [f32]) {
+    linalg::pack_b(ckk, ohow, cols, dst, None);
 }
 
 /// Gradients of [`conv2d`] with respect to input, weight, and bias.
@@ -382,6 +484,34 @@ mod tests {
                 "conv mismatch at c={c},o={o},h={h},k={k},s={s},p={p}"
             );
         }
+    }
+
+    /// The batched (image × weight-panel) task grid must be bit-identical
+    /// to itself across thread counts and dispatched micro-kernels — same
+    /// contract as the SGEMM it reuses.
+    #[test]
+    fn conv2d_bit_identical_across_threads_and_kernels() {
+        use crate::parallel::with_threads;
+        let mut rng = StdRng::seed_from_u64(17);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let x = Tensor::randn([5, 3, 9, 9], &mut rng);
+        let w = Tensor::randn([6, 3, 3, 3], &mut rng);
+        let b = Tensor::randn([6], &mut rng);
+        let reference = {
+            let _g = with_threads(1);
+            conv2d(&x, &w, Some(&b), spec)
+        };
+        for kern in kernels::supported_kernels() {
+            kernels::force(Some(kern));
+            for threads in [1usize, 2, 8] {
+                let _g = with_threads(threads);
+                let got = conv2d(&x, &w, Some(&b), spec);
+                for (i, (a, r)) in got.as_slice().iter().zip(reference.as_slice()).enumerate() {
+                    assert_eq!(a.to_bits(), r.to_bits(), "conv {kern} t={threads} diverges at {i}");
+                }
+            }
+        }
+        kernels::force(None);
     }
 
     #[test]

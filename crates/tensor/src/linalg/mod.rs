@@ -1,14 +1,27 @@
 //! Dense linear algebra kernels: 2-D and batched matrix multiplication.
 //!
 //! The inner kernel is a **packed-panel, register-tiled SGEMM**: `b` is
-//! packed once into zero-padded [`NR`]-column panels, each [`MR`]-row
-//! panel of `a` is packed k-major, and an `MR×NR` register-accumulator
-//! micro-kernel walks the full `k` extent in one pass. Row panels are
-//! independent, so they are dispatched to the intra-op worker pool
-//! ([`crate::parallel`]); every output element is produced by exactly one
-//! task with a fixed accumulation order, which makes results **bit-exact**
-//! against [`matmul_naive`] and identical for every thread count. See
-//! DESIGN.md §10 for the blocking scheme and the determinism argument.
+//! packed once into zero-padded [`kernels::NR`]-column panels, each
+//! [`kernels::MR`]-row panel of `a` is packed k-major, and an `MR×NR`
+//! register-accumulator micro-kernel walks the full `k` extent in one
+//! pass. The micro-kernel is selected per call by runtime CPU-feature
+//! dispatch ([`kernels::active`]): hand-written AVX-512 or AVX2
+//! intrinsics on x86_64 hosts that support them, the portable scalar loop
+//! everywhere else — all bit-identical by construction (see [`kernels`]).
+//!
+//! Row panels are independent, so they are dispatched to the intra-op
+//! worker pool ([`crate::parallel`]); every output element is produced by
+//! exactly one task with a fixed accumulation order, which makes results
+//! **bit-exact** against [`matmul_naive`] and identical for every thread
+//! count, micro-kernel, and fused/unfused pack. See DESIGN.md §10 and
+//! §15.
+//!
+//! The packing step can additionally **fuse an elementwise transform**
+//! ([`sgemm_fused`], [`matmul_fused`]): format quantisation is applied
+//! while operands stream into panels, eliminating the separate
+//! full-tensor quantise memory pass from the campaign hot path.
+
+pub mod kernels;
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -16,15 +29,22 @@ use std::time::Instant;
 use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
 use crate::workspace;
+use kernels::{Kernel, MR, NR};
 
-/// Rows per packed `a` panel (register-tile height).
-const MR: usize = 4;
-/// Columns per packed `b` panel (register-tile width; 16 lanes → one
-/// 512-bit register per accumulator row on AVX-512, two 256-bit on AVX2).
-const NR: usize = 16;
-/// Below this many flops (`2·m·k·n`) the panel loop stays on one thread —
-/// spawn overhead beats the win on small problems.
-const PAR_FLOP_THRESHOLD: usize = 1 << 21;
+/// Below this many flops (`2·m·k·n`) the panel loop stays on one thread.
+/// `parallel_for` spawns scoped OS threads per dispatch (no persistent
+/// pool), which costs on the order of a millisecond on containerised
+/// hosts — comparable to the *entire* GEMM for the small layers of the
+/// evaluation models. Threading only pays once the per-dispatch work is
+/// tens of milliseconds, i.e. hundreds of megaflops: 512³ and up stay
+/// parallel, everything a serial campaign trial touches stays on the
+/// worker's own thread (campaign-level `--jobs` parallelism composes on
+/// top without oversubscription).
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 1 << 27;
+
+/// An elementwise operand transform fused into the pack step (typically a
+/// number format's quantise→dequantise round-trip).
+pub type Transform<'a> = &'a (dyn Fn(f32) -> f32 + Sync);
 
 /// Benchmark-only escape hatch: when set, [`sgemm`] (and everything built
 /// on it: `matmul`, conv2d) routes through the legacy axpy kernel so
@@ -38,9 +58,15 @@ pub fn set_legacy_kernel(on: bool) {
     LEGACY_KERNEL.store(on, std::sync::atomic::Ordering::Relaxed);
 }
 
+pub(crate) fn legacy_kernel_enabled() -> bool {
+    LEGACY_KERNEL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 struct GemmMetrics {
     pack_ns: &'static trace::Metric,
+    fused_quantize_ns: &'static trace::Metric,
     kernel_ns: &'static trace::Metric,
+    kernel_kind: &'static trace::Metric,
     flops: &'static trace::Metric,
 }
 
@@ -48,9 +74,21 @@ fn gemm_metrics() -> &'static GemmMetrics {
     static METRICS: OnceLock<GemmMetrics> = OnceLock::new();
     METRICS.get_or_init(|| GemmMetrics {
         pack_ns: trace::histogram(trace::names::TENSOR_GEMM_PACK_NS),
+        fused_quantize_ns: trace::histogram(trace::names::PACK_FUSED_QUANTIZE_NS),
         kernel_ns: trace::histogram(trace::names::TENSOR_GEMM_KERNEL_NS),
+        kernel_kind: trace::histogram(trace::names::GEMM_KERNEL),
         flops: trace::counter(trace::names::TENSOR_GEMM_FLOPS),
     })
+}
+
+impl GemmMetrics {
+    /// Records one GEMM dispatch: kernel-phase wall time, the dispatched
+    /// micro-kernel's ordinal, and the flop count.
+    fn record_dispatch(&self, t: Instant, kern: Kernel, flops: usize) {
+        self.kernel_ns.record(t.elapsed().as_nanos() as u64);
+        self.kernel_kind.record(kern.ordinal());
+        self.flops.add(flops as u64);
+    }
 }
 
 /// Multiplies two matrices: `[m, k] × [k, n] → [m, n]`.
@@ -68,13 +106,30 @@ fn gemm_metrics() -> &'static GemmMetrics {
 /// assert_eq!(matmul(&a, &b).as_slice(), &[19., 22., 43., 50.]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_fused(a, b, None, None)
+}
+
+/// [`matmul`] with elementwise transforms fused into the pack step:
+/// bit-identical to `matmul(&a.map(fa), &b.map(fb))` without ever
+/// materialising the transformed operands (a `None` transform is the
+/// identity).
+///
+/// # Panics
+///
+/// Panics if operands are not 2-D or the inner dimensions disagree.
+pub fn matmul_fused(
+    a: &Tensor,
+    b: &Tensor,
+    fa: Option<Transform<'_>>,
+    fb: Option<Transform<'_>>,
+) -> Tensor {
     assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
     assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (k2, n) = (b.dims()[0], b.dims()[1]);
     assert_eq!(k, k2, "matmul inner dims: {:?} × {:?}", a.shape(), b.shape());
     let mut out = vec![0.0f32; m * n];
-    sgemm(m, k, n, a.as_slice(), b.as_slice(), &mut out);
+    sgemm_fused(m, k, n, a.as_slice(), b.as_slice(), &mut out, fa, fb);
     Tensor::from_vec(out, [m, n])
 }
 
@@ -100,6 +155,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
         return Tensor::from_vec(out, [ba, m, n]);
     }
 
+    let kern = kernels::active();
     let timing = trace::recording();
     let t0 = timing.then(Instant::now);
     let npanels = n.div_ceil(NR);
@@ -112,6 +168,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
             n,
             &b.as_slice()[bi * k * n..(bi + 1) * k * n],
             &mut bpack[bi * npanels * panel_len..(bi + 1) * npanels * panel_len],
+            None,
         );
     }
     if let Some(t0) = t0 {
@@ -128,19 +185,17 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
         let i0 = pi * MR;
         let rows = MR.min(m - i0);
         let mut apack = workspace::take(k * MR);
-        pack_a(k, &a_all[bi * m * k..(bi + 1) * m * k], i0, rows, &mut apack);
+        pack_a(k, &a_all[bi * m * k..(bi + 1) * m * k], i0, rows, &mut apack, None);
         // SAFETY: task t owns exactly rows `i0..i0+rows` of batch `bi`;
         // the (bi, pi) → task mapping is a bijection, so regions are
         // disjoint, and `out` outlives the thread scope.
         let orow = unsafe {
             std::slice::from_raw_parts_mut(base.get().add(bi * m * n + i0 * n), rows * n)
         };
-        row_panel(k, n, rows, &apack, &bpack_all[bi * npanels * panel_len..], orow);
+        row_panel(kern, k, n, rows, &apack, &bpack_all[bi * npanels * panel_len..], orow);
     });
     if let Some(t1) = t1 {
-        let metrics = gemm_metrics();
-        metrics.kernel_ns.record(t1.elapsed().as_nanos() as u64);
-        metrics.flops.add(flops as u64);
+        gemm_metrics().record_dispatch(t1, kern, flops);
     }
     Tensor::from_vec(out, [ba, m, n])
 }
@@ -151,25 +206,59 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
 /// panels. Per output element the accumulation chain is
 /// `out[i,j] + a[i,0]·b[0,j] + a[i,1]·b[1,j] + …` in `k` order — exactly
 /// the naive order — so the result is bit-identical to [`matmul_naive`]
-/// (on a zeroed `out`) and to itself under any thread count.
+/// (on a zeroed `out`) and to itself under any thread count or dispatched
+/// micro-kernel.
 pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    if legacy_kernel_enabled() {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        return sgemm_axpy(m, k, n, a, b, out);
+    }
+    sgemm_fused(m, k, n, a, b, out, None, None);
+}
+
+/// [`sgemm`] with elementwise transforms fused into the pack step.
+///
+/// `fa`/`fb` are applied to each operand element exactly once while it
+/// streams into its packed panel, so the result is bit-identical to
+/// transforming the operands first and calling [`sgemm`] — without the
+/// intermediate full-tensor write/read (padding lanes are never
+/// transformed or stored back, so they cannot observe `f`).
+///
+/// Ignores the benchmark-only legacy-kernel toggle: the axpy kernel has
+/// no pack step to fuse into.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_fused(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    fa: Option<Transform<'_>>,
+    fb: Option<Transform<'_>>,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
         return;
     }
-    if LEGACY_KERNEL.load(std::sync::atomic::Ordering::Relaxed) {
-        return sgemm_axpy(m, k, n, a, b, out);
-    }
 
+    let kern = kernels::active();
     let timing = trace::recording();
     let t0 = timing.then(Instant::now);
     let npanels = n.div_ceil(NR);
     let mut bpack = workspace::take(npanels * k * NR);
-    pack_b(k, n, b, &mut bpack);
+    pack_b(k, n, b, &mut bpack, fb);
     if let Some(t0) = t0 {
-        gemm_metrics().pack_ns.record(t0.elapsed().as_nanos() as u64);
+        let metrics = gemm_metrics();
+        let ns = t0.elapsed().as_nanos() as u64;
+        metrics.pack_ns.record(ns);
+        if fa.is_some() || fb.is_some() {
+            metrics.fused_quantize_ns.record(ns);
+        }
     }
 
     let t1 = timing.then(Instant::now);
@@ -182,23 +271,22 @@ pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]
         let i0 = pi * MR;
         let rows = MR.min(m - i0);
         let mut apack = workspace::take(k * MR);
-        pack_a(k, a, i0, rows, &mut apack);
+        pack_a(k, a, i0, rows, &mut apack, fa);
         // SAFETY: panel pi owns exactly output rows `i0..i0+rows`; panels
         // partition `0..m` disjointly and `out` outlives the thread scope.
         let orow = unsafe { std::slice::from_raw_parts_mut(base.get().add(i0 * n), rows * n) };
-        row_panel(k, n, rows, &apack, bpack_ref, orow);
+        row_panel(kern, k, n, rows, &apack, bpack_ref, orow);
     });
     if let Some(t1) = t1 {
-        let metrics = gemm_metrics();
-        metrics.kernel_ns.record(t1.elapsed().as_nanos() as u64);
-        metrics.flops.add(flops as u64);
+        gemm_metrics().record_dispatch(t1, kern, flops);
     }
 }
 
 /// Packs `b: k×n` into `⌈n/NR⌉` contiguous k-major panels:
-/// `dst[(panel·k + kk)·NR + c] = b[kk, panel·NR + c]`, zero-padding the
-/// ragged last panel so the micro-kernel never branches on width.
-fn pack_b(k: usize, n: usize, b: &[f32], dst: &mut [f32]) {
+/// `dst[(panel·k + kk)·NR + c] = f(b[kk, panel·NR + c])`, zero-padding the
+/// ragged last panel so the micro-kernel never branches on width. With no
+/// transform each row segment is a straight memcpy.
+pub(crate) fn pack_b(k: usize, n: usize, b: &[f32], dst: &mut [f32], f: Option<Transform<'_>>) {
     let npanels = n.div_ceil(NR);
     for pj in 0..npanels {
         let j0 = pj * NR;
@@ -206,7 +294,14 @@ fn pack_b(k: usize, n: usize, b: &[f32], dst: &mut [f32]) {
         let panel = &mut dst[pj * k * NR..(pj + 1) * k * NR];
         for kk in 0..k {
             let src = &b[kk * n + j0..kk * n + j0 + cols];
-            panel[kk * NR..kk * NR + cols].copy_from_slice(src);
+            match f {
+                None => panel[kk * NR..kk * NR + cols].copy_from_slice(src),
+                Some(f) => {
+                    for (d, &s) in panel[kk * NR..kk * NR + cols].iter_mut().zip(src) {
+                        *d = f(s);
+                    }
+                }
+            }
             // Padding lanes stay zero: `workspace::take` hands out zeroed
             // buffers, and padded products are never stored back.
         }
@@ -214,12 +309,30 @@ fn pack_b(k: usize, n: usize, b: &[f32], dst: &mut [f32]) {
 }
 
 /// Packs rows `i0..i0+rows` of `a: ?×k` k-major:
-/// `dst[kk·MR + r] = a[i0 + r, kk]`, zero-padding rows past `rows`.
-fn pack_a(k: usize, a: &[f32], i0: usize, rows: usize, dst: &mut [f32]) {
+/// `dst[kk·MR + r] = f(a[i0 + r, kk])`, zero-padding rows past `rows`
+/// (padding is not transformed — it exists only for lane uniformity and
+/// is never stored back).
+pub(crate) fn pack_a(
+    k: usize,
+    a: &[f32],
+    i0: usize,
+    rows: usize,
+    dst: &mut [f32],
+    f: Option<Transform<'_>>,
+) {
     for r in 0..rows {
         let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
-        for (kk, &v) in arow.iter().enumerate() {
-            dst[kk * MR + r] = v;
+        match f {
+            None => {
+                for (kk, &v) in arow.iter().enumerate() {
+                    dst[kk * MR + r] = v;
+                }
+            }
+            Some(f) => {
+                for (kk, &v) in arow.iter().enumerate() {
+                    dst[kk * MR + r] = f(v);
+                }
+            }
         }
     }
     if rows < MR {
@@ -232,8 +345,17 @@ fn pack_a(k: usize, a: &[f32], i0: usize, rows: usize, dst: &mut [f32]) {
 }
 
 /// `orow += apack × bpack` for one packed `rows×k` row panel against every
-/// packed column panel of one matrix (`orow` has row stride `n`).
-fn row_panel(k: usize, n: usize, rows: usize, apack: &[f32], bpack: &[f32], orow: &mut [f32]) {
+/// packed column panel of one matrix (`orow` has row stride `n`), running
+/// the dispatched micro-kernel `kern` on each register tile.
+pub(crate) fn row_panel(
+    kern: Kernel,
+    k: usize,
+    n: usize,
+    rows: usize,
+    apack: &[f32],
+    bpack: &[f32],
+    orow: &mut [f32],
+) {
     let npanels = n.div_ceil(NR);
     for pj in 0..npanels {
         let j0 = pj * NR;
@@ -248,28 +370,9 @@ fn row_panel(k: usize, n: usize, rows: usize, apack: &[f32], bpack: &[f32], orow
         for r in 0..rows {
             acc[r][..cols].copy_from_slice(&orow[r * n + j0..r * n + j0 + cols]);
         }
-        kernel(k, apack, bpanel, &mut acc);
+        kernels::run(kern, k, apack, bpanel, &mut acc);
         for r in 0..rows {
             orow[r * n + j0..r * n + j0 + cols].copy_from_slice(&acc[r][..cols]);
-        }
-    }
-}
-
-/// The `MR×NR` register-tile micro-kernel: one pass over the full `k`
-/// extent, accumulating `acc[r][c] += apack[kk,r]·bpack[kk,c]` for each
-/// `kk` in order. The fixed-size tile lets the autovectoriser keep `acc`
-/// in SIMD registers; there is no k-blocking, so each element's
-/// accumulation chain is a single in-order sum (the determinism anchor).
-#[inline]
-fn kernel(k: usize, apack: &[f32], bpack: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for kk in 0..k {
-        let av: &[f32; MR] = apack[kk * MR..kk * MR + MR].try_into().unwrap();
-        let bv: &[f32; NR] = bpack[kk * NR..kk * NR + NR].try_into().unwrap();
-        for r in 0..MR {
-            let ar = av[r];
-            for c in 0..NR {
-                acc[r][c] += ar * bv[c];
-            }
         }
     }
 }
@@ -323,10 +426,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// Bitwise equality with the NaN-payload carve-out (see
+    /// `kernels` module doc): non-NaN values must match exactly; NaN must
+    /// appear at identical positions but may differ in payload.
     fn assert_bits_eq(a: &Tensor, b: &Tensor, ctx: &str) {
         assert_eq!(a.dims(), b.dims(), "{ctx}: shape");
         for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
-            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: bit mismatch at {i}: {x} vs {y}");
+            assert!(
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                "{ctx}: bit mismatch at {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -348,7 +457,7 @@ mod tests {
     }
 
     #[test]
-    fn packed_bit_exact_vs_naive() {
+    fn packed_bit_exact_vs_naive_for_every_kernel() {
         let mut rng = StdRng::seed_from_u64(42);
         for &(m, k, n) in &[
             (1, 1, 1),
@@ -363,7 +472,11 @@ mod tests {
             let a = Tensor::randn([m, k], &mut rng);
             let b = Tensor::randn([k, n], &mut rng);
             let slow = matmul_naive(&a, &b);
-            assert_bits_eq(&matmul(&a, &b), &slow, &format!("({m},{k},{n})"));
+            for kern in kernels::supported_kernels() {
+                kernels::force(Some(kern));
+                assert_bits_eq(&matmul(&a, &b), &slow, &format!("({m},{k},{n}) {kern}"));
+            }
+            kernels::force(None);
         }
     }
 
@@ -383,19 +496,25 @@ mod tests {
     }
 
     /// The old kernel's `aik == 0.0` skip dropped `0 × Inf = NaN`; the
-    /// packed kernel must propagate it exactly like the naive reference.
+    /// packed kernel must propagate it exactly like the naive reference —
+    /// under every dispatched micro-kernel.
     #[test]
     fn nan_inf_propagation_matches_naive() {
         let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0], [2, 2]);
         let b = Tensor::from_vec(vec![f32::INFINITY, 5.0, 6.0, f32::NEG_INFINITY], [2, 2]);
-        let fast = matmul(&a, &b);
         let slow = matmul_naive(&a, &b);
-        assert!(fast.as_slice()[0].is_nan(), "0·Inf must produce NaN, got {}", fast.as_slice()[0]);
-        assert_bits_eq(&fast, &slow, "nan-inf");
         // NaN in a also survives a zero in the other operand.
         let a2 = Tensor::from_vec(vec![f32::NAN, 0.0, 0.0, 1.0], [2, 2]);
         let b2 = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], [2, 2]);
-        assert_bits_eq(&matmul(&a2, &b2), &matmul_naive(&a2, &b2), "nan-zero");
+        let slow2 = matmul_naive(&a2, &b2);
+        for kern in kernels::supported_kernels() {
+            kernels::force(Some(kern));
+            let fast = matmul(&a, &b);
+            assert!(fast.as_slice()[0].is_nan(), "{kern}: 0·Inf must produce NaN");
+            assert_bits_eq(&fast, &slow, &format!("nan-inf {kern}"));
+            assert_bits_eq(&matmul(&a2, &b2), &slow2, &format!("nan-zero {kern}"));
+        }
+        kernels::force(None);
     }
 
     #[test]
@@ -441,6 +560,33 @@ mod tests {
         for threads in [2, 8] {
             let _g = with_threads(threads);
             assert_bits_eq(&bmm(&a, &b), &serial, &format!("bmm {threads} threads"));
+        }
+    }
+
+    /// `matmul_fused(a, b, fa, fb)` must equal `matmul(map(a), map(b))`
+    /// bit-for-bit — the fused quantize-into-pack contract — for every
+    /// dispatched micro-kernel and thread count.
+    #[test]
+    fn fused_pack_matches_map_then_matmul_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let quant = |x: f32| (x * 4.0).round() * 0.25; // a toy quantizer
+        let neg = |x: f32| -x;
+        for &(m, k, n) in &[(5, 9, 17), (17, 33, 9), (64, 70, 65), (1, 1, 1), (3, 64, 16)] {
+            let a = Tensor::randn([m, k], &mut rng);
+            let b = Tensor::randn([k, n], &mut rng);
+            let want = matmul(&a.map(quant), &b.map(quant));
+            let want_b_only = matmul(&a, &b.map(neg));
+            for kern in kernels::supported_kernels() {
+                kernels::force(Some(kern));
+                for threads in [1usize, 4] {
+                    let _g = with_threads(threads);
+                    let got = matmul_fused(&a, &b, Some(&quant), Some(&quant));
+                    assert_bits_eq(&got, &want, &format!("fused ({m},{k},{n}) {kern} t{threads}"));
+                    let got = matmul_fused(&a, &b, None, Some(&neg));
+                    assert_bits_eq(&got, &want_b_only, &format!("fused-b ({m},{k},{n}) {kern}"));
+                }
+            }
+            kernels::force(None);
         }
     }
 

@@ -29,6 +29,17 @@ pub const FORMATS_LUT_BUILDS: &str = "formats.lut.builds";
 pub const FORMATS_QUANTIZE_CHUNKED_NS: &str = "formats.quantize.chunked_ns";
 /// Elements quantised by the chunk-parallel path.
 pub const FORMATS_QUANTIZE_CHUNKED_ELEMS: &str = "formats.quantize.chunked_elems";
+/// Ordinal of the GEMM micro-kernel dispatched per call (0 = scalar,
+/// 1 = AVX2, 2 = AVX-512); a histogram so `trace stats` shows which
+/// kernel a run actually used.
+pub const GEMM_KERNEL: &str = "gemm.kernel";
+/// Wall time of fused quantize-into-pack passes: the operand-B pack phase
+/// of `sgemm_fused` when a transform is fused, and the hook-side fused
+/// quantise→dequantise round-trip.
+pub const PACK_FUSED_QUANTIZE_NS: &str = "pack.fused_quantize_ns";
+/// Fused quantise round-trips whose format had a validated cached
+/// dequantise LUT available (the ≤16-bit fast-path population).
+pub const PACK_LUT_HITS: &str = "pack.lut_hits";
 /// Artifact-store lookups that found a cached artifact (memory or disk).
 pub const STORE_HIT: &str = "store.hit";
 /// Artifact-store lookups that missed and had to compute the artifact.
@@ -55,10 +66,13 @@ pub const ALL_METRICS: &[&str] = &[
     FORMATS_LUT_BUILDS,
     FORMATS_QUANTIZE_CHUNKED_ELEMS,
     FORMATS_QUANTIZE_CHUNKED_NS,
+    GEMM_KERNEL,
     HOOK_CONVERT_ELEMS,
     HOOK_DEQUANTIZE_NS,
     HOOK_LOCK_WAIT_NS,
     HOOK_QUANTIZE_NS,
+    PACK_FUSED_QUANTIZE_NS,
+    PACK_LUT_HITS,
     STORE_BYTES_REUSED,
     STORE_BYTES_WRITTEN,
     STORE_HIT,

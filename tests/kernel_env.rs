@@ -1,0 +1,30 @@
+//! Startup kernel selection via `GOLDENEYE_KERNEL` — in its own test
+//! binary so the assertion on the process-global dispatch state cannot
+//! race with tests that call `kernels::force` elsewhere. The CI
+//! `kernel-matrix` job runs the whole test suite once per env value; this
+//! test is what proves the requested kernel was actually picked up.
+
+use tensor::linalg::kernels;
+
+#[test]
+fn env_var_selects_the_startup_kernel() {
+    let active = kernels::active();
+    match std::env::var("GOLDENEYE_KERNEL") {
+        Ok(v) => {
+            let requested = kernels::Kernel::parse(&v)
+                .unwrap_or_else(|| panic!("GOLDENEYE_KERNEL={v} is not a known kernel"));
+            // An unsupported request clamps down to the best the host has.
+            let expect = if kernels::is_supported(requested) {
+                requested
+            } else {
+                kernels::best_supported()
+            };
+            assert_eq!(active, expect, "GOLDENEYE_KERNEL={v} not honoured");
+        }
+        Err(_) => assert_eq!(
+            active,
+            kernels::best_supported(),
+            "default dispatch must pick the best supported kernel"
+        ),
+    }
+}

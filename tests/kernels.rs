@@ -8,7 +8,8 @@ use formats::FormatSpec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tensor::linalg::{matmul, matmul_naive};
+use tensor::linalg::kernels::{self, Kernel};
+use tensor::linalg::{matmul, matmul_fused, matmul_naive};
 use tensor::{parallel, Tensor};
 
 fn random_tensor(dims: [usize; 2], rng: &mut StdRng) -> Tensor {
@@ -16,10 +17,24 @@ fn random_tensor(dims: [usize; 2], rng: &mut StdRng) -> Tensor {
     Tensor::from_vec((0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect(), dims)
 }
 
+/// Bitwise equality with the NaN-payload carve-out (DESIGN.md §15): every
+/// non-NaN element must match exactly; NaNs must appear at identical
+/// positions but their payload bits are not pinned across ISAs.
 fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
     assert_eq!(a.dims(), b.dims(), "{what}: shape");
     for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
-        assert!(x.to_bits() == y.to_bits(), "{what}: element {i}: {x} vs {y}");
+        assert!(
+            x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+            "{what}: element {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Restores runtime kernel dispatch on drop (including on test failure).
+struct ForceGuard;
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        kernels::force(None);
     }
 }
 
@@ -91,6 +106,121 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The forced-fallback differential matrix: every supported micro-kernel
+    /// (scalar / AVX2 / AVX-512 as the host allows) × thread budget ×
+    /// fused/unfused pack must agree with the forced-scalar single-thread
+    /// baseline byte-for-byte, ragged shapes included. This is the suite the
+    /// CI `kernel-matrix` job replays under each `GOLDENEYE_KERNEL` value.
+    #[test]
+    fn prop_forced_kernels_fused_or_not_match_scalar(
+        m in 0usize..=80, k in 0usize..=80, n in 0usize..=80, seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_tensor([m, k], &mut rng);
+        let b = random_tensor([k, n], &mut rng);
+        // A toy mid-precision quantiser for the fused-pack leg (exact in
+        // f32, so fused vs pre-quantised operands must agree bitwise).
+        let quant = |x: f32| (x * 8.0).round() * 0.125;
+        let aq = a.map(quant);
+        let bq = b.map(quant);
+        let _restore = ForceGuard;
+        kernels::force(Some(Kernel::Scalar));
+        let base = {
+            let _g = parallel::with_threads(1);
+            matmul(&aq, &bq)
+        };
+        for kern in kernels::supported_kernels() {
+            kernels::force(Some(kern));
+            for threads in [1usize, 2, 8] {
+                let _g = parallel::with_threads(threads);
+                for (label, got) in [
+                    ("unfused", matmul(&aq, &bq)),
+                    ("fused", matmul_fused(&a, &b, Some(&quant), Some(&quant))),
+                ] {
+                    prop_assert_eq!(got.dims(), base.dims());
+                    for (i, (x, y)) in got.as_slice().iter().zip(base.as_slice()).enumerate() {
+                        prop_assert!(
+                            x.to_bits() == y.to_bits(),
+                            "({},{},{}) {:?} {} threads={}: element {}: {} vs {}",
+                            m, k, n, kern, label, threads, i, x, y
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// NaN and Inf flow through every forced kernel exactly like the scalar
+/// loop (NaN-for-NaN at identical positions; payloads are not pinned
+/// across ISAs — DESIGN.md §15). Ragged shape so edge tiles are hit too.
+#[test]
+fn forced_kernels_propagate_nan_inf_like_scalar() {
+    let (m, k, n) = (6usize, 5, 19);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut av: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let mut bv: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    av[0] = f32::NAN;
+    av[k + 1] = f32::INFINITY;
+    bv[2 * n + 3] = f32::NEG_INFINITY;
+    bv[n - 1] = f32::NAN;
+    let a = Tensor::from_vec(av, [m, k]);
+    let b = Tensor::from_vec(bv, [k, n]);
+    let _restore = ForceGuard;
+    kernels::force(Some(Kernel::Scalar));
+    let base = {
+        let _g = parallel::with_threads(1);
+        matmul(&a, &b)
+    };
+    assert!(base.as_slice().iter().any(|x| x.is_nan()), "fixture must produce NaNs");
+    for kern in kernels::supported_kernels() {
+        kernels::force(Some(kern));
+        for threads in [1usize, 8] {
+            let _g = parallel::with_threads(threads);
+            assert_bits_eq(&matmul(&a, &b), &base, &format!("{kern:?} threads={threads}"));
+        }
+    }
+}
+
+/// End to end: the canonical per-trial campaign records are byte-identical
+/// under every forced kernel and under the fused-roundtrip hook toggle.
+/// The kernel layer and the fused quantise path are pure performance
+/// levers — no campaign statistic may move.
+#[test]
+fn campaign_records_identical_across_kernels_and_fused_toggle() {
+    use goldeneye::{run_campaign, CampaignConfig, GoldenEye};
+    use inject::SiteKind;
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = models::ResNet::new(models::ResNetConfig::tiny(4), &mut rng);
+    let data = models::SyntheticDataset::generate(16, 16, 4, 5);
+    let (x, y) = data.head_batch(4);
+    let ge = GoldenEye::parse("fp:e4m3").expect("valid spec");
+    let cfg = CampaignConfig {
+        injections_per_layer: 2,
+        kind: SiteKind::Value,
+        seed: 17,
+        jobs: 1,
+        ..Default::default()
+    };
+    let _restore = ForceGuard;
+    kernels::force(Some(Kernel::Scalar));
+    goldeneye::set_fused_quantize(false);
+    let reference = run_campaign(&ge, &model, &x, &y, &cfg).canonical_trial_jsonl();
+    assert!(!reference.is_empty());
+    for kern in kernels::supported_kernels() {
+        kernels::force(Some(kern));
+        for fused in [false, true] {
+            goldeneye::set_fused_quantize(fused);
+            let got = run_campaign(&ge, &model, &x, &y, &cfg).canonical_trial_jsonl();
+            assert!(got == reference, "campaign records diverged under {kern:?} fused={fused}");
+        }
+    }
+    goldeneye::set_fused_quantize(true);
 }
 
 /// The historical zero-skip dropped NaN/Inf propagation; the packed kernel
